@@ -1,0 +1,65 @@
+"""Table I — dataset profiles.
+
+Prints the profile of every synthetic dataset stand-in next to the paper's
+Table I values, and benchmarks dataset generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval import format_generic_table
+
+# Paper Table I values: |V|, |E|, |A|, |C|.
+TABLE1_PAPER = {
+    "cora": (2708, 5429, 1433, 7),
+    "citeseer": (3327, 4732, 3703, 6),
+    "arxiv": (199343, 1166243, 0, 40),
+    "dblp": (317080, 1049866, 0, 5000),
+    "reddit": (232965, 114615892, 0, 50),
+}
+
+
+@pytest.mark.benchmark(group="table1-datasets")
+def test_table1_profiles(benchmark, profile):
+    """Regenerate Table I (ours vs paper) and time one dataset build."""
+
+    def build():
+        return load_dataset("citeseer", scale=profile.dataset_scale, cache=False)
+
+    dataset = benchmark(build)
+    assert dataset.graph.num_nodes > 0
+
+    rows = []
+    for name, (pv, pe, pa, pc) in TABLE1_PAPER.items():
+        ds = load_dataset(name, scale=profile.dataset_scale)
+        ours = ds.profile
+        rows.append([name, ours["nodes"], pv, ours["edges"], pe,
+                     ours["attributes"], pa, ours["communities"], pc])
+    print("\n" + format_generic_table(
+        ["Dataset", "|V| ours", "|V| paper", "|E| ours", "|E| paper",
+         "|A| ours", "|A| paper", "|C| ours", "|C| paper"],
+        rows, title=f"Table I — dataset profiles (scale={profile.dataset_scale})",
+        float_format="{:d}"))
+
+    facebook = load_dataset("facebook", scale=profile.dataset_scale)
+    ego_rows = [[g.name, g.num_nodes, g.num_edges, g.num_attributes,
+                 g.num_communities] for g in facebook.graphs]
+    print("\n" + format_generic_table(
+        ["Ego network", "|V|", "|E|", "|A|", "|C|"], ego_rows,
+        title="Table I — Facebook ego networks"))
+
+
+@pytest.mark.benchmark(group="table1-datasets")
+def test_dataset_determinism(benchmark):
+    """Dataset builds must be bit-identical under a fixed seed."""
+    import numpy as np
+
+    def build_pair():
+        a = load_dataset("cora", seed=5, scale=0.2, cache=False)
+        b = load_dataset("cora", seed=5, scale=0.2, cache=False)
+        return a, b
+
+    a, b = benchmark(build_pair)
+    np.testing.assert_array_equal(a.graph.edges, b.graph.edges)

@@ -1,0 +1,84 @@
+"""Fig. 3 — efficiency: total test time (a) and meta-training time (b).
+
+Shape targets from the paper:
+
+* CGNP's test time is the best among learned approaches — it answers
+  queries with forward passes only, while MAML/Reptile run test-time
+  gradient steps, Supervised/AQD-GNN train from scratch per task, and
+  ICS-GNN trains per query;
+* CGNP's meta-training is an order of magnitude faster than the two-level
+  optimisation of MAML/Reptile, close to plain FeatTrans pre-training.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import bar_chart, format_time_table, run_effectiveness
+
+from conftest import print_paper_shape_note
+
+METHODS = ("CTC", "MAML", "Reptile", "FeatTrans", "GPN", "Supervised",
+           "ICS-GNN", "AQD-GNN", "CGNP-IP", "CGNP-MLP", "CGNP-GNN")
+
+
+@pytest.mark.benchmark(group="fig3-efficiency")
+def test_fig3_train_and_test_time(benchmark, profile):
+    results = benchmark.pedantic(
+        run_effectiveness, args=("sgsc", "citeseer", profile),
+        kwargs={"shots": (1,), "method_names": METHODS, "seed": 23},
+        rounds=1, iterations=1)[1]
+
+    print("\n" + format_time_table(
+        results, title="Fig. 3 — meta-train / test wall-clock (citeseer SGSC)"))
+    print("\n" + bar_chart([r.method for r in results],
+                           [r.test_time for r in results],
+                           title="Fig. 3(a) — total test time (log bars)",
+                           log_scale=True, unit="s"))
+    trained = [r for r in results if r.train_time > 0]
+    print("\n" + bar_chart([r.method for r in trained],
+                           [r.train_time for r in trained],
+                           title="Fig. 3(b) — total meta-training time (log bars)",
+                           log_scale=True, unit="s"))
+    print_paper_shape_note()
+
+    by_name = {r.method: r for r in results}
+    cgnp_test = min(by_name[m].test_time
+                    for m in ("CGNP-IP", "CGNP-MLP", "CGNP-GNN"))
+
+    # Shape (Fig. 3a): CGNP-IP answers test tasks faster than every method
+    # that trains at test time.
+    for slow in ("MAML", "Reptile", "Supervised", "ICS-GNN", "AQD-GNN"):
+        assert cgnp_test < by_name[slow].test_time, (
+            f"CGNP test time {cgnp_test:.3f}s should undercut "
+            f"{slow} ({by_name[slow].test_time:.3f}s)")
+
+    # Shape (Fig. 3b): CGNP meta-training undercuts MAML and Reptile.
+    cgnp_train = by_name["CGNP-IP"].train_time
+    assert cgnp_train < by_name["MAML"].train_time
+    assert cgnp_train < by_name["Reptile"].train_time
+
+
+@pytest.mark.benchmark(group="fig3-efficiency")
+def test_fig3_single_query_latency(benchmark, profile):
+    """Micro-benchmark: one CGNP meta-test pass (Algorithm 2) on one task —
+    the unit whose cost Fig. 3a aggregates."""
+    from repro.core import CGNP, CGNPConfig, MetaTrainConfig, meta_train, meta_test_task
+    from repro.tasks import ScenarioConfig, make_scenario
+    from repro.utils import make_rng
+
+    config = ScenarioConfig(num_train_tasks=2, num_valid_tasks=1,
+                            num_test_tasks=1,
+                            subgraph_nodes=profile.subgraph_nodes,
+                            num_query=profile.num_query, seed=29)
+    tasks = make_scenario("sgsc", "citeseer", config,
+                          scale=profile.dataset_scale)
+    rng = make_rng(0)
+    model = CGNP(tasks.train[0].features().shape[1],
+                 CGNPConfig(hidden_dim=profile.hidden_dim,
+                            num_layers=profile.num_layers, conv="gat"), rng)
+    meta_train(model, tasks.train, MetaTrainConfig(epochs=2), rng)
+    task = tasks.test[0]
+
+    predictions = benchmark(meta_test_task, model, task)
+    assert len(predictions) == len(task.queries)

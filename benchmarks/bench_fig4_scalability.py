@@ -1,0 +1,75 @@
+"""Fig. 4 — scalability: train/test time versus task-graph size.
+
+The paper grows the DBLP task graphs from 200 to 10,000 nodes and reports
+that (a) CGNP has the lowest test time at every size and (b) CGNP training
+time grows mildly, staying 1-2 orders of magnitude below the two-level
+optimisers on large graphs.
+
+The size grid scales with the profile (smoke: 100/200 nodes; fast:
+200/500/1000; paper: 200/1000/5000/10000).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_generic_table, line_chart, run_scalability
+
+from conftest import print_paper_shape_note
+
+SIZE_GRIDS = {
+    "smoke": (100, 200),
+    "fast": (200, 500, 1000),
+    "paper": (200, 1000, 5000, 10000),
+}
+METHODS = ("MAML", "FeatTrans", "Supervised", "CGNP-IP")
+
+
+@pytest.mark.benchmark(group="fig4-scalability")
+def test_fig4_scalability(benchmark, profile):
+    sizes = SIZE_GRIDS[profile.name]
+    results = benchmark.pedantic(
+        run_scalability, args=(profile,),
+        kwargs={"sizes": sizes, "method_names": METHODS, "seed": 31},
+        rounds=1, iterations=1)
+
+    # Meta-training budgets differ per method at reduced profiles (CGNP
+    # runs profile.cgnp_epochs, MAML/FeatTrans run profile.pretrain_epochs),
+    # so the comparable quantity is the cost of ONE epoch over the task set.
+    epochs_of = {"CGNP-IP": profile.cgnp_epochs, "MAML": profile.pretrain_epochs,
+                 "FeatTrans": profile.pretrain_epochs, "Supervised": 1}
+    rows = []
+    for size, size_results in results.items():
+        for result in size_results:
+            per_epoch = result.train_time / max(epochs_of[result.method], 1)
+            rows.append([size, result.method, result.train_time, per_epoch,
+                         result.test_time])
+    print("\n" + format_generic_table(
+        ["|V(G)|", "Method", "TrainTime(s)", "Train/epoch(s)", "TestTime(s)"],
+        rows, title="Fig. 4 — scalability on DBLP-like tasks",
+        float_format="{:.3f}"))
+    test_series = {
+        method: [next(r.test_time for r in results[size]
+                      if r.method == method) for size in sizes]
+        for method in METHODS}
+    print("\n" + line_chart(list(sizes), test_series,
+                            title="Fig. 4(a) shape — test time vs |V(G)|",
+                            y_label="seconds", x_label="|V(G)|"))
+    print_paper_shape_note()
+
+    # Shape (Fig. 4a): CGNP test time beats the test-time trainers at the
+    # largest size.
+    largest = results[max(sizes)]
+    by_name = {r.method: r for r in largest}
+    assert by_name["CGNP-IP"].test_time < by_name["MAML"].test_time
+    assert by_name["CGNP-IP"].test_time < by_name["Supervised"].test_time
+
+    # Shape (Fig. 4b): one CGNP meta-training epoch undercuts one MAML
+    # outer epoch (two-level optimisation) at every size.
+    for size_results in results.values():
+        by_name = {r.method: r for r in size_results}
+        cgnp_epoch = by_name["CGNP-IP"].train_time / profile.cgnp_epochs
+        maml_epoch = by_name["MAML"].train_time / profile.pretrain_epochs
+        assert cgnp_epoch < maml_epoch, (
+            f"CGNP per-epoch {cgnp_epoch:.3f}s should undercut "
+            f"MAML per-epoch {maml_epoch:.3f}s")

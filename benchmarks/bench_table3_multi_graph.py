@@ -1,0 +1,63 @@
+"""Table III — effectiveness on multi-graph tasks.
+
+* **MGOD** — the ten Facebook ego networks (6 train / 2 valid / 2 test);
+* **MGDD** — cross-domain transfer Citeseer → Cora ("Cite2Cora").
+
+Shape targets from the paper: CGNP variants dominate Cite2Cora (transfer of
+a shared embedding function beats parameter transfer); on Facebook the
+query-interactive ICS-GNN is the strongest competitor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import PAPER_REFERENCE_F1, format_metric_table, run_effectiveness
+
+from conftest import print_paper_shape_note
+
+METHODS = ("ATC", "ACQ", "CTC", "MAML", "Reptile", "FeatTrans", "GPN",
+           "Supervised", "ICS-GNN", "AQD-GNN",
+           "CGNP-IP", "CGNP-MLP", "CGNP-GNN")
+
+
+def _print(results, dataset, scenario, shot):
+    print("\n" + format_metric_table(
+        results, title=f"Table III — {dataset} {scenario.upper()} {shot}-shot"))
+    reference = PAPER_REFERENCE_F1.get((dataset, scenario, shot))
+    if reference:
+        cells = ", ".join(f"{m}={v:.4f}" for m, v in sorted(reference.items()))
+        print(f"paper F1 reference: {cells}")
+
+
+@pytest.mark.benchmark(group="table3-mgod")
+def test_table3_mgod_facebook(benchmark, profile):
+    results = benchmark.pedantic(
+        run_effectiveness, args=("mgod", "facebook", profile),
+        kwargs={"shots": (1,), "method_names": METHODS, "seed": 11},
+        rounds=1, iterations=1)
+    _print(results[1], "facebook", "mgod", 1)
+    print_paper_shape_note()
+
+    cgnp = [r for r in results[1] if r.method.startswith("CGNP")]
+    best_cgnp = max(cgnp, key=lambda r: r.metrics.f1)
+    # Shape: CGNP recall dominates (the paper's CGNP recall is ≥ 0.88 on
+    # Facebook across variants).
+    assert best_cgnp.metrics.recall >= 0.5
+
+
+@pytest.mark.benchmark(group="table3-mgdd")
+def test_table3_mgdd_cite2cora(benchmark, profile):
+    results = benchmark.pedantic(
+        run_effectiveness, args=("mgdd", "cite2cora", profile),
+        kwargs={"shots": (1,), "method_names": METHODS, "seed": 11},
+        rounds=1, iterations=1)
+    _print(results[1], "cite2cora", "mgdd", 1)
+    print_paper_shape_note()
+
+    shot_results = results[1]
+    best = max(shot_results, key=lambda r: r.metrics.f1)
+    # Shape: a CGNP variant wins cross-domain transfer outright (Table III).
+    assert best.method.startswith("CGNP"), (
+        f"expected a CGNP variant to lead Cite2Cora, got {best.method} "
+        f"(F1={best.metrics.f1:.4f})")

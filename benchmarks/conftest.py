@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md §3)
+and times a representative unit of work with pytest-benchmark.  The scale is
+controlled by the ``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``smoke`` (default) — minutes on CPU; method *ordering* is preserved;
+* ``fast``  — clearer separations, tens of minutes;
+* ``paper`` — the full publication protocol (100/50/50 tasks, 200 epochs).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+tables alongside the timings.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "tests"))
+
+from repro.eval import PROFILES, ExperimentProfile
+
+
+def bench_profile() -> ExperimentProfile:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "smoke")
+    if name not in PROFILES:
+        raise KeyError(f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}")
+    return PROFILES[name]
+
+
+@pytest.fixture(scope="session")
+def profile() -> ExperimentProfile:
+    return bench_profile()
+
+
+def print_paper_shape_note() -> None:
+    print(
+        "\nNOTE: absolute numbers come from the synthetic substrate "
+        "(see DESIGN.md §1); compare *shapes* — who wins, by how much, "
+        "where crossovers fall — against the paper values recorded in "
+        "EXPERIMENTS.md."
+    )

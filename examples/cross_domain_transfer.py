@@ -1,0 +1,67 @@
+"""Cross-domain transfer (the paper's "Cite2Cora" MGDD scenario).
+
+Meta-knowledge extracted from Citeseer tasks is applied, without any
+retraining, to tasks drawn from a completely different graph (Cora).  This
+is the hardest scenario of the paper and where CGNP's advantage over
+parameter-transfer baselines is largest: CGNP transfers a *node-embedding
+function for clustering*, not model parameters.
+
+The script compares CGNP against Feature Transfer and a per-task
+Supervised GNN and prints a Table III-style summary.
+
+Run:  python examples/cross_domain_transfer.py
+"""
+
+import numpy as np
+
+from repro import ScenarioConfig, make_rng, make_scenario
+from repro.baselines import (
+    CGNPMethod,
+    FeatTransConfig,
+    FeatureTransfer,
+    SupervisedConfig,
+    SupervisedGNN,
+)
+from repro.core import CGNPConfig, MetaTrainConfig
+from repro.eval import evaluate_method, format_metric_table
+
+
+def main() -> None:
+    # Train tasks come from Citeseer, test tasks from Cora.  Attribute
+    # vocabularies differ across domains, so tasks automatically fall back
+    # to the shared structural features (core number + clustering).
+    config = ScenarioConfig(
+        num_train_tasks=10, num_valid_tasks=2, num_test_tasks=4,
+        subgraph_nodes=80, num_support=3, num_query=5, seed=5)
+    tasks = make_scenario("mgdd", "cite2cora", config, scale=0.4)
+    print(tasks.summary())
+    print(f"task features: {tasks.train[0].features().shape[1]} dims "
+          f"(structural only — cross-domain)")
+
+    rng = make_rng(2)
+    methods = [
+        SupervisedGNN(SupervisedConfig(hidden_dim=48, num_layers=2,
+                                       conv="gat", train_steps=60)),
+        FeatureTransfer(FeatTransConfig(hidden_dim=48, num_layers=2,
+                                        conv="gat", pretrain_epochs=10)),
+        CGNPMethod(CGNPConfig(hidden_dim=48, num_layers=2, conv="gat"),
+                   MetaTrainConfig(epochs=40)),
+    ]
+
+    results = []
+    for method in methods:
+        child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1))
+        result = evaluate_method(method, tasks, child)
+        results.append(result)
+        print(f"  {result.method:<12} f1={result.metrics.f1:.4f} "
+              f"(train {result.train_time:.1f}s, test {result.test_time:.1f}s)")
+
+    print("\n" + format_metric_table(
+        results, title="Cite2Cora — cross-domain community search"))
+    best = max(results, key=lambda r: r.metrics.f1)
+    print(f"\nbest method: {best.method} "
+          f"(the paper's Table III winner here is CGNP)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Interactive community refinement with CGNP.
+
+ICS-GNN (one of the paper's baselines) motivates *interactive* CS: a user
+inspects the found community and marks mistakes, and the system refines its
+answer.  CGNP supports this natively without any retraining — user feedback
+is just another observation added to the support set, and the context
+re-encodes in one forward pass.
+
+This example simulates the loop: query → answer → the "user" marks the
+worst false positive / false negative → the labels are appended to the
+query's ground truth → the answer improves.
+
+Run:  python examples/interactive_refinement.py
+"""
+
+import numpy as np
+
+from repro import (
+    CGNP,
+    CGNPConfig,
+    MetaTrainConfig,
+    ScenarioConfig,
+    community_metrics,
+    make_rng,
+    make_scenario,
+    meta_train,
+)
+from repro.nn import no_grad
+from repro.tasks import QueryExample
+
+
+def refined_example(example: QueryExample, new_positives, new_negatives):
+    """A copy of ``example`` with extra user-provided labels."""
+    return QueryExample(
+        query=example.query,
+        positives=np.unique(np.concatenate(
+            [example.positives, np.asarray(new_positives, dtype=np.int64)])),
+        negatives=np.unique(np.concatenate(
+            [example.negatives, np.asarray(new_negatives, dtype=np.int64)])),
+        membership=example.membership,
+    )
+
+
+def answer(model, task, support, example):
+    """One CGNP pass plus clamping of user-confirmed labels.
+
+    The encoder's indicator channel (Eq. 13) only represents *positive*
+    knowledge, so confirmed negatives additionally override the scores
+    directly — exactly what an interactive UI would do with explicit user
+    verdicts.
+    """
+    query = example.query
+    with no_grad():
+        context = model.context(task, support=support)
+        logits = model.query_logits(context, query, task.graph)
+        probabilities = logits.sigmoid().data
+    if len(example.positives):
+        probabilities[example.positives] = 1.0
+    if len(example.negatives):
+        probabilities[example.negatives] = 0.0
+    members = probabilities >= 0.5
+    members[query] = True
+    return probabilities, np.flatnonzero(members)
+
+
+def main() -> None:
+    config = ScenarioConfig(num_train_tasks=10, num_valid_tasks=2,
+                            num_test_tasks=2, subgraph_nodes=80,
+                            num_support=3, num_query=4, seed=6)
+    tasks = make_scenario("sgsc", "cora", config, scale=0.4)
+    rng = make_rng(1)
+    model = CGNP(tasks.train[0].features().shape[1],
+                 CGNPConfig(hidden_dim=48, num_layers=2, conv="gat"), rng)
+    meta_train(model, tasks.train, MetaTrainConfig(epochs=30), rng)
+
+    task = tasks.test[0]
+    target = task.queries[0]
+    query = target.query
+    truth = target.membership
+    # The interactive query starts with NO labels of its own: the context
+    # comes only from the task's support set.
+    example = QueryExample(query=query,
+                           positives=np.array([], dtype=np.int64),
+                           negatives=np.array([], dtype=np.int64),
+                           membership=truth)
+    support = list(task.support)
+
+    print(f"query node {query} on task {task.name!r} "
+          f"(true community: {int(truth.sum())} nodes)\n")
+    for round_index in range(6):
+        current_support = support + ([example] if example.num_labels else [])
+        probabilities, members = answer(model, task, current_support, example)
+        metrics = community_metrics(members, truth, query)
+        print(f"round {round_index}: |community|={len(members):>3}  "
+              f"precision={metrics.precision:.3f}  recall={metrics.recall:.3f}  "
+              f"f1={metrics.f1:.3f}")
+
+        # Simulated user feedback: flag up to three of the most confident
+        # false positives and the most overlooked false negatives.
+        member_mask = np.zeros(task.graph.num_nodes, dtype=bool)
+        member_mask[members] = True
+        false_pos = np.flatnonzero(member_mask & ~truth)
+        false_neg = np.flatnonzero(~member_mask & truth)
+        new_neg = [int(v) for v in
+                   false_pos[np.argsort(-probabilities[false_pos])][:3]]
+        new_pos = [int(v) for v in
+                   false_neg[np.argsort(probabilities[false_neg])][:3]]
+        if not new_neg and not new_pos:
+            print("\nanswer is exact — refinement converged")
+            break
+        labels = [f"+{v}" for v in new_pos] + [f"-{v}" for v in new_neg]
+        print(f"         user marks: {', '.join(labels)}")
+        example = refined_example(example, new_pos, new_neg)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: meta-train a CGNP and answer community-search queries.
+
+This walks the full pipeline on a small Cora-like citation network:
+
+1. build a dataset with ground-truth communities;
+2. sample training/test tasks (Single Graph, Shared Communities);
+3. meta-train a CGNP (Algorithm 1);
+4. answer held-out queries with one forward pass each (Algorithm 2);
+5. score the found communities against the ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CGNP,
+    CGNPConfig,
+    MetaTrainConfig,
+    ScenarioConfig,
+    community_metrics,
+    make_rng,
+    make_scenario,
+    meta_test_task,
+    meta_train,
+)
+from repro.eval import mean_metrics
+
+
+def main() -> None:
+    # 1-2. Dataset + tasks.  Each task is a 100-node BFS subgraph with
+    # 3 support queries (partial ground truth) and 6 held-out queries.
+    config = ScenarioConfig(
+        num_train_tasks=12, num_valid_tasks=3, num_test_tasks=4,
+        subgraph_nodes=100, num_support=3, num_query=6, seed=1)
+    tasks = make_scenario("sgsc", "cora", config, scale=0.5)
+    print(tasks.summary())
+
+    # 3. The meta model: GAT encoder, sum aggregation, inner-product decoder.
+    rng = make_rng(0)
+    in_dim = tasks.train[0].features().shape[1]
+    model = CGNP(in_dim, CGNPConfig(hidden_dim=64, num_layers=2, conv="gat",
+                                    aggregator="sum", decoder="ip"), rng)
+    print(model.describe())
+
+    state = meta_train(model, tasks.train,
+                       MetaTrainConfig(epochs=40, learning_rate=1e-3),
+                       rng, valid_tasks=tasks.valid)
+    print(f"meta-trained {len(state.epoch_losses)} epochs, "
+          f"loss {state.epoch_losses[0]:.4f} -> {state.epoch_losses[-1]:.4f}")
+
+    # 4-5. Answer the held-out queries of every test task and score them.
+    scores = []
+    for task in tasks.test:
+        for prediction in meta_test_task(model, task):
+            metrics = community_metrics(prediction.members,
+                                        prediction.ground_truth,
+                                        prediction.query)
+            scores.append(metrics)
+    summary = mean_metrics(scores)
+    print(f"\nheld-out queries: {len(scores)}")
+    print(f"mean metrics: {summary}")
+
+    # Show one concrete answer.
+    task = tasks.test[0]
+    prediction = meta_test_task(model, task)[0]
+    truth = set(int(v) for v in prediction.ground_truth.nonzero()[0])
+    print(f"\nexample query node {prediction.query} on task {task.name!r}:")
+    print(f"  predicted community ({len(prediction.members)} nodes): "
+          f"{sorted(prediction.members.tolist())[:15]}...")
+    print(f"  ground-truth community has {len(truth)} nodes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""CGNP — Community Search: A Meta-Learning Approach (ICDE 2023).
+
+A from-scratch Python reproduction of the Conditional Graph Neural Process
+framework of Fang, Zhao, Li & Yu, including the full neural substrate
+(autograd, GNN layers), the graph substrate (k-core/k-truss, samplers,
+synthetic datasets with ground-truth communities), every compared baseline,
+and a harness regenerating each table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import (CGNP, CGNPConfig, MetaTrainConfig, meta_train,
+...                    meta_test_task, make_scenario, ScenarioConfig, make_rng)
+>>> config = ScenarioConfig(num_train_tasks=8, num_valid_tasks=2,
+...                         num_test_tasks=2, subgraph_nodes=60, num_query=5)
+>>> tasks = make_scenario("sgsc", "cora", config, scale=0.25)
+>>> rng = make_rng(0)
+>>> model = CGNP(tasks.train[0].features().shape[1],
+...              CGNPConfig(hidden_dim=32, num_layers=2), rng)
+>>> _ = meta_train(model, tasks.train, MetaTrainConfig(epochs=10), rng)
+>>> predictions = meta_test_task(model, tasks.test[0])
+"""
+
+from . import algorithms, baselines, core, datasets, eval, gnn, graph, nn, tasks, utils
+from .core import (
+    CGNP,
+    CGNPConfig,
+    MetaTrainConfig,
+    meta_test_task,
+    meta_train,
+    predict_memberships,
+)
+from .datasets import load_dataset
+from .eval import (
+    Metrics,
+    binary_metrics,
+    community_metrics,
+    evaluate_method,
+    format_metric_table,
+)
+from .graph import Graph
+from .tasks import QueryExample, ScenarioConfig, Task, TaskSet, make_scenario
+from .utils import make_rng
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "nn",
+    "graph",
+    "datasets",
+    "tasks",
+    "gnn",
+    "core",
+    "baselines",
+    "algorithms",
+    "eval",
+    "utils",
+    "CGNP",
+    "CGNPConfig",
+    "MetaTrainConfig",
+    "meta_train",
+    "meta_test_task",
+    "predict_memberships",
+    "Graph",
+    "load_dataset",
+    "Task",
+    "TaskSet",
+    "QueryExample",
+    "ScenarioConfig",
+    "make_scenario",
+    "make_rng",
+    "Metrics",
+    "binary_metrics",
+    "community_metrics",
+    "evaluate_method",
+    "format_metric_table",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""``repro.algorithms`` — the non-learning CS baselines: ATC, ACQ, CTC."""
+
+from .acq import ACQConfig, AttributedCommunityQuery, acq_search
+from .atc import ATCConfig, AttributedTrussCommunity, atc_search
+from .classic_models import (
+    CocktailPartySearch,
+    KCliqueCommunitySearch,
+    enumerate_k_cliques,
+    greedy_cocktail_party,
+    k_clique_communities,
+    k_edge_connected_components,
+)
+from .ctc import CTCConfig, ClosestTrussCommunity, ctc_search
+
+__all__ = [
+    "ACQConfig",
+    "AttributedCommunityQuery",
+    "acq_search",
+    "ATCConfig",
+    "AttributedTrussCommunity",
+    "atc_search",
+    "CTCConfig",
+    "ClosestTrussCommunity",
+    "ctc_search",
+    "enumerate_k_cliques",
+    "k_clique_communities",
+    "k_edge_connected_components",
+    "greedy_cocktail_party",
+    "KCliqueCommunitySearch",
+    "CocktailPartySearch",
+]

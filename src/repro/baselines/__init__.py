@@ -1,0 +1,36 @@
+"""``repro.baselines`` — the learned baselines of the paper's comparison,
+plus the unified method interface and the CGNP wrapper."""
+
+from .aqd_gnn import AQDGNN, AQDGNNConfig, AQDGNNModel
+from .base import CommunitySearchMethod, QueryPrediction, threshold_prediction
+from .cgnp_method import CGNPMethod, make_cgnp_variant
+from .feat_trans import FeatTransConfig, FeatureTransfer
+from .gpn import GPN, GPNConfig
+from .ics_gnn import ICSGNN, ICSGNNConfig, grow_community_by_scores
+from .maml import MAML, MAMLConfig
+from .reptile import Reptile, ReptileConfig
+from .supervised import SupervisedConfig, SupervisedGNN
+
+__all__ = [
+    "CommunitySearchMethod",
+    "QueryPrediction",
+    "threshold_prediction",
+    "CGNPMethod",
+    "make_cgnp_variant",
+    "SupervisedGNN",
+    "SupervisedConfig",
+    "FeatureTransfer",
+    "FeatTransConfig",
+    "MAML",
+    "MAMLConfig",
+    "Reptile",
+    "ReptileConfig",
+    "GPN",
+    "GPNConfig",
+    "ICSGNN",
+    "ICSGNNConfig",
+    "grow_community_by_scores",
+    "AQDGNN",
+    "AQDGNNConfig",
+    "AQDGNNModel",
+]

@@ -1,0 +1,68 @@
+"""The unified community-search method interface.
+
+Every approach in the paper's comparison — CGNP variants, the learned
+baselines, and the algorithmic baselines — is exposed through
+:class:`CommunitySearchMethod` so the evaluator and the benchmark harness
+can treat them uniformly:
+
+* ``meta_fit(train, valid, rng)`` — the offline meta-training stage
+  (a no-op for per-task methods like Supervised / ICS-GNN and for the
+  graph algorithms, mirroring the paper's note that those "do not involve
+  this meta training stage");
+* ``predict_task(task)`` — answer every held-out query of a test task,
+  adapting to the task's support set however the method prescribes
+  (fine-tuning, prototype computation, context encoding, or nothing).
+
+Implementations must be deterministic given their construction RNG.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.infer import QueryPrediction
+from ..tasks.task import Task
+
+__all__ = ["CommunitySearchMethod", "QueryPrediction", "threshold_prediction"]
+
+
+def threshold_prediction(probabilities: np.ndarray, query: int,
+                         ground_truth: np.ndarray,
+                         threshold: float = 0.5) -> QueryPrediction:
+    """Build a :class:`QueryPrediction` from per-node probabilities."""
+    members = np.asarray(probabilities) >= threshold
+    members[int(query)] = True
+    return QueryPrediction(
+        query=int(query),
+        probabilities=np.asarray(probabilities, dtype=np.float64),
+        members=np.flatnonzero(members),
+        ground_truth=np.asarray(ground_truth, dtype=bool),
+    )
+
+
+class CommunitySearchMethod(abc.ABC):
+    """Abstract base of all compared approaches."""
+
+    #: Display name used in tables (matches the paper's method names).
+    name: str = "method"
+
+    #: Whether :meth:`meta_fit` performs real work (drives Fig. 3b, which
+    #: only reports meta-training time for methods that have that stage).
+    trains_meta: bool = False
+
+    @abc.abstractmethod
+    def meta_fit(self, train_tasks: Sequence[Task],
+                 valid_tasks: Optional[Sequence[Task]] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        """Offline stage on the training task set (may be a no-op)."""
+
+    @abc.abstractmethod
+    def predict_task(self, task: Task) -> List[QueryPrediction]:
+        """Predict the community of every held-out query of ``task``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,70 @@
+"""CGNP wrapped in the unified :class:`CommunitySearchMethod` interface.
+
+The three paper variants differ only in the decoder:
+
+* ``CGNP-IP``  — inner-product decoder;
+* ``CGNP-MLP`` — MLP decoder;
+* ``CGNP-GNN`` — GNN decoder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.infer import meta_test_task
+from ..core.model import CGNP, CGNPConfig
+from ..core.train import MetaTrainConfig, meta_train
+from ..tasks.task import Task
+from ..utils import derive_rng
+from .base import CommunitySearchMethod, QueryPrediction
+from .common import feature_dim_of_tasks
+
+__all__ = ["CGNPMethod", "make_cgnp_variant"]
+
+
+class CGNPMethod(CommunitySearchMethod):
+    """Meta-trained CGNP behind the common evaluation interface."""
+
+    trains_meta = True
+
+    def __init__(self, model_config: Optional[CGNPConfig] = None,
+                 train_config: Optional[MetaTrainConfig] = None,
+                 seed: int = 0, name: Optional[str] = None):
+        self.model_config = model_config or CGNPConfig()
+        self.train_config = train_config or MetaTrainConfig()
+        self._rng = np.random.default_rng(seed)
+        self._model: Optional[CGNP] = None
+        self.name = name or f"CGNP-{self.model_config.decoder.upper()}"
+
+    @property
+    def model(self) -> CGNP:
+        if self._model is None:
+            raise RuntimeError(f"{self.name}: model not trained yet")
+        return self._model
+
+    def meta_fit(self, train_tasks: Sequence[Task],
+                 valid_tasks: Optional[Sequence[Task]] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or derive_rng(self._rng)
+        in_dim = feature_dim_of_tasks(train_tasks)
+        self._model = CGNP(in_dim, self.model_config, rng)
+        meta_train(self._model, train_tasks, self.train_config, rng,
+                   valid_tasks=valid_tasks)
+
+    def predict_task(self, task: Task) -> List[QueryPrediction]:
+        return meta_test_task(self.model, task)
+
+
+def make_cgnp_variant(decoder: str, seed: int = 0,
+                      conv: str = "gat", aggregator: str = "sum",
+                      epochs: int = 200, hidden_dim: int = 128,
+                      num_layers: int = 3,
+                      learning_rate: float = 5e-4) -> CGNPMethod:
+    """Convenience factory for the paper's three variants and ablations."""
+    model_config = CGNPConfig(hidden_dim=hidden_dim, num_layers=num_layers,
+                              conv=conv, aggregator=aggregator, decoder=decoder)
+    train_config = MetaTrainConfig(epochs=epochs, learning_rate=learning_rate)
+    return CGNPMethod(model_config, train_config, seed=seed)

@@ -1,0 +1,105 @@
+"""Shared machinery for the GNN-based baselines (section IV).
+
+All naive approaches build on the same "simple GNN" recipe: the input of
+the network for a query ``q`` is the node feature matrix with a binary
+query-indicator channel (``I_q(v) = 1`` iff ``v = q``), the output is a
+per-node membership logit, and the loss is BCE over the query's sampled
+positive/negative nodes (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gnn.encoder import GNNNodeClassifier, make_query_features
+from ..nn.loss import bce_with_logits
+from ..nn.optim import Optimizer
+from ..nn.tensor import Tensor, no_grad
+from ..tasks.task import QueryExample, Task
+
+__all__ = [
+    "example_inputs",
+    "example_loss",
+    "predict_example_proba",
+    "train_steps",
+    "feature_dim_of_tasks",
+]
+
+
+def example_inputs(task: Task, example: QueryExample,
+                   use_attributes: Optional[bool] = None,
+                   use_structural: Optional[bool] = None,
+                   mark_positives: bool = False) -> Tensor:
+    """Input features for one (query, ground-truth) pair.
+
+    ``mark_positives`` extends the indicator to known positives (Eq. 13's
+    close-world identifier) — CGNP-style; the section-IV baselines mark
+    only the query node.
+    """
+    features = task.features(use_attributes, use_structural)
+    positives = example.positives if mark_positives else None
+    return Tensor(make_query_features(features, example.query, positives))
+
+
+def example_loss(model: GNNNodeClassifier, task: Task, example: QueryExample,
+                 mark_positives: bool = False) -> Tensor:
+    """BCE loss (Eq. 3) of ``model`` on one example's labelled nodes."""
+    inputs = example_inputs(task, example, mark_positives=mark_positives)
+    logits = model(inputs, task.graph)
+    nodes, targets = example.label_arrays()
+    return bce_with_logits(logits.take_rows(nodes), targets, reduction="sum") \
+        * (1.0 / len(nodes))
+
+
+def predict_example_proba(model: GNNNodeClassifier, task: Task,
+                          example: QueryExample,
+                          mark_positives: bool = False) -> np.ndarray:
+    """Per-node membership probabilities for one query (no autograd)."""
+    model.eval()
+    with no_grad():
+        inputs = example_inputs(task, example, mark_positives=mark_positives)
+        logits = model(inputs, task.graph)
+        probabilities = logits.sigmoid().data
+    return probabilities
+
+
+def train_steps(model: GNNNodeClassifier, optimizer: Optimizer,
+                batch: Sequence[Tuple[Task, QueryExample]], num_steps: int,
+                rng: Optional[np.random.Generator] = None,
+                mark_positives: bool = False) -> List[float]:
+    """``num_steps`` full-batch gradient steps over (task, example) pairs.
+
+    Returns the per-step mean losses.  The pair order is reshuffled per
+    step when ``rng`` is given.
+    """
+    if not batch:
+        raise ValueError("empty training batch")
+    model.train()
+    losses: List[float] = []
+    order = np.arange(len(batch))
+    for _ in range(num_steps):
+        if rng is not None:
+            rng.shuffle(order)
+        optimizer.zero_grad()
+        total: Optional[Tensor] = None
+        for index in order:
+            task, example = batch[int(index)]
+            loss = example_loss(model, task, example, mark_positives=mark_positives)
+            total = loss if total is None else total + loss
+        total = total * (1.0 / len(batch))
+        total.backward()
+        optimizer.step()
+        losses.append(float(total.data))
+    return losses
+
+
+def feature_dim_of_tasks(tasks: Sequence[Task]) -> int:
+    """Feature dimensionality (without indicator) shared by ``tasks``."""
+    if not tasks:
+        raise ValueError("no tasks given")
+    dims = {task.features().shape[1] for task in tasks}
+    if len(dims) != 1:
+        raise ValueError(f"tasks disagree on feature dimensionality: {sorted(dims)}")
+    return dims.pop()

@@ -1,0 +1,93 @@
+"""Feature Transfer baseline (❻ in the paper, section IV).
+
+A base GNN is pre-trained on the union of all training tasks' queries.
+For a test task, only the parameters of the **final layer** are fine-tuned
+on the support set ("by one gradient step, while all the other parameters
+are kept intact"); the shallow layers transfer as-is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gnn.encoder import GNNNodeClassifier
+from ..nn.optim import Adam, SGD
+from ..tasks.task import QueryExample, Task
+from ..utils import derive_rng
+from .base import CommunitySearchMethod, QueryPrediction, threshold_prediction
+from .common import feature_dim_of_tasks, predict_example_proba, train_steps
+
+__all__ = ["FeatTransConfig", "FeatureTransfer"]
+
+
+@dataclasses.dataclass
+class FeatTransConfig:
+    """Pre-training and fine-tuning schedule."""
+
+    hidden_dim: int = 128
+    num_layers: int = 3
+    conv: str = "gat"
+    dropout: float = 0.2
+    learning_rate: float = 5e-4
+    pretrain_epochs: int = 200      # paper: 200 epochs on the task union
+    finetune_steps: int = 1         # paper: one gradient step on S*
+    finetune_lr: float = 5e-4
+
+
+class FeatureTransfer(CommunitySearchMethod):
+    """Pre-train everywhere, fine-tune the head per task."""
+
+    name = "FeatTrans"
+    trains_meta = True
+
+    def __init__(self, config: Optional[FeatTransConfig] = None, seed: int = 0):
+        self.config = config or FeatTransConfig()
+        self._rng = np.random.default_rng(seed)
+        self._model: Optional[GNNNodeClassifier] = None
+
+    def meta_fit(self, train_tasks: Sequence[Task],
+                 valid_tasks: Optional[Sequence[Task]] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or derive_rng(self._rng)
+        c = self.config
+        in_dim = feature_dim_of_tasks(train_tasks)
+        self._model = GNNNodeClassifier(in_dim + 1, c.hidden_dim, c.num_layers,
+                                        c.conv, c.dropout, rng)
+        # The union of all training tasks' labelled queries (support and
+        # query sets alike — FeatTrans does not distinguish them).
+        batch: List[Tuple[Task, QueryExample]] = [
+            (task, example)
+            for task in train_tasks
+            for example in task.all_examples()
+        ]
+        optimizer = Adam(self._model.parameters(), lr=c.learning_rate)
+        train_steps(self._model, optimizer, batch, c.pretrain_epochs, rng)
+
+    def predict_task(self, task: Task) -> List[QueryPrediction]:
+        if self._model is None:
+            raise RuntimeError("FeatTrans.predict_task called before meta_fit")
+        rng = derive_rng(self._rng)
+        # Clone the pre-trained model so tasks do not contaminate each other.
+        model = self._clone_model(task)
+        head_params = list(dict(model.head.named_parameters()).values())
+        optimizer = SGD(head_params, lr=self.config.finetune_lr)
+        batch = [(task, example) for example in task.support]
+        train_steps(model, optimizer, batch, self.config.finetune_steps, rng)
+
+        predictions = []
+        for example in task.queries:
+            probabilities = predict_example_proba(model, task, example)
+            predictions.append(threshold_prediction(
+                probabilities, example.query, example.membership))
+        return predictions
+
+    def _clone_model(self, task: Task) -> GNNNodeClassifier:
+        c = self.config
+        in_dim = feature_dim_of_tasks([task])
+        clone = GNNNodeClassifier(in_dim + 1, c.hidden_dim, c.num_layers,
+                                  c.conv, c.dropout, np.random.default_rng(0))
+        clone.load_state_dict(self._model.state_dict())
+        return clone

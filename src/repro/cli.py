@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Usage (after install)::
+
+    python -m repro.cli datasets
+    python -m repro.cli run --scenario sgsc --dataset citeseer \
+        --methods CTC,Supervised,CGNP-IP --profile smoke --shots 1
+    python -m repro.cli train --dataset cora --out model.npz
+    python -m repro.cli query --dataset cora --model model.npz --node 42
+
+``run`` regenerates a table cell of the paper; ``train``/``query`` expose
+the deployment loop: persist a meta model once, answer arbitrary queries
+later.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import CGNP, CGNPConfig, MetaTrainConfig, meta_train, predict_memberships
+from .datasets import dataset_names, load_dataset
+from .eval import (
+    PROFILES,
+    format_generic_table,
+    format_metric_table,
+    format_time_table,
+    run_effectiveness,
+)
+from .nn.serialize import load_state, save_state
+from .tasks import ScenarioConfig, TaskSampler, make_scenario
+from .utils import make_rng
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CGNP community search — reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the registered datasets")
+
+    run = sub.add_parser("run", help="run an effectiveness experiment")
+    run.add_argument("--scenario", default="sgsc",
+                     choices=["sgsc", "sgdc", "mgod", "mgdd"])
+    run.add_argument("--dataset", default="citeseer",
+                     help="dataset name, or source2target / cite2cora for mgdd")
+    run.add_argument("--methods", default="CTC,Supervised,CGNP-IP",
+                     help="comma-separated method names")
+    run.add_argument("--profile", default="smoke", choices=sorted(PROFILES))
+    run.add_argument("--shots", default="1", help="comma-separated shot counts")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--times", action="store_true",
+                     help="also print the wall-clock table (Fig. 3 style)")
+
+    train = sub.add_parser("train", help="meta-train a CGNP and save it")
+    train.add_argument("--dataset", default="cora")
+    train.add_argument("--out", required=True, help="output .npz path")
+    train.add_argument("--epochs", type=int, default=40)
+    train.add_argument("--tasks", type=int, default=12)
+    train.add_argument("--subgraph-nodes", type=int, default=100)
+    train.add_argument("--hidden-dim", type=int, default=64)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--conv", default="gat", choices=["gcn", "gat", "sage"])
+    train.add_argument("--decoder", default="ip", choices=["ip", "mlp", "gnn"])
+    train.add_argument("--scale", type=float, default=0.5)
+    train.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser("query", help="answer queries with a saved model")
+    query.add_argument("--dataset", default="cora")
+    query.add_argument("--model", required=True, help="saved .npz path")
+    query.add_argument("--node", type=int, required=True,
+                       help="query node id in a fresh task subgraph")
+    query.add_argument("--subgraph-nodes", type=int, default=100)
+    query.add_argument("--hidden-dim", type=int, default=64)
+    query.add_argument("--layers", type=int, default=2)
+    query.add_argument("--conv", default="gat", choices=["gcn", "gat", "sage"])
+    query.add_argument("--decoder", default="ip", choices=["ip", "mlp", "gnn"])
+    query.add_argument("--scale", type=float, default=0.5)
+    query.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for name in dataset_names():
+        dataset = load_dataset(name, scale=0.2)
+        profile = dataset.profile
+        if isinstance(profile, list):  # multi-graph
+            rows.append([name, f"{len(profile)} graphs",
+                         sum(p["nodes"] for p in profile),
+                         sum(p["edges"] for p in profile), "-"])
+        else:
+            rows.append([name, "single", profile["nodes"], profile["edges"],
+                         profile["communities"]])
+    print(format_generic_table(
+        ["Dataset", "Kind", "|V|", "|E|", "|C|"], rows,
+        title="Registered datasets (at scale=0.2)", float_format="{}"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.profile]
+    shots = tuple(int(s) for s in args.shots.split(","))
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    results = run_effectiveness(args.scenario, args.dataset, profile,
+                                shots=shots, method_names=methods,
+                                seed=args.seed)
+    for shot, shot_results in results.items():
+        print(format_metric_table(
+            shot_results,
+            title=f"{args.dataset} {args.scenario.upper()} {shot}-shot "
+                  f"(profile={args.profile})"))
+        if args.times:
+            print(format_time_table(shot_results))
+        print()
+    return 0
+
+
+def _train_config(args: argparse.Namespace) -> CGNPConfig:
+    return CGNPConfig(hidden_dim=args.hidden_dim, num_layers=args.layers,
+                      conv=args.conv, decoder=args.decoder)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        num_train_tasks=args.tasks, num_valid_tasks=max(args.tasks // 4, 1),
+        num_test_tasks=1, subgraph_nodes=args.subgraph_nodes,
+        num_support=3, num_query=6, seed=args.seed)
+    tasks = make_scenario("sgsc", args.dataset, config, scale=args.scale)
+    rng = make_rng(args.seed)
+    in_dim = tasks.train[0].features().shape[1]
+    model = CGNP(in_dim, _train_config(args), rng)
+    print(model.describe())
+    state = meta_train(model, tasks.train, MetaTrainConfig(epochs=args.epochs),
+                       rng, valid_tasks=tasks.valid)
+    save_state(model.state_dict(), args.out)
+    print(f"trained {len(state.epoch_losses)} epochs "
+          f"(loss {state.epoch_losses[0]:.4f} -> {state.epoch_losses[-1]:.4f}); "
+          f"saved to {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    rng = make_rng(args.seed)
+    sampler = TaskSampler(dataset.graph, subgraph_nodes=args.subgraph_nodes,
+                          num_support=3, num_query=3)
+    task = sampler.sample_task(rng)
+    if not 0 <= args.node < task.graph.num_nodes:
+        print(f"error: --node must be in [0, {task.graph.num_nodes})",
+              file=sys.stderr)
+        return 2
+    in_dim = task.features().shape[1]
+    model = CGNP(in_dim, _train_config(args), make_rng(0))
+    model.load_state_dict(load_state(args.model))
+    members = predict_memberships(model, task, [args.node])[args.node]
+    print(f"query node {args.node} (task subgraph of "
+          f"{task.graph.num_nodes} nodes):")
+    print(f"predicted community ({len(members)} nodes): {members.tolist()}")
+    truth = task.graph.ground_truth_community(args.node)
+    if truth:
+        overlap = len(set(members.tolist()) & truth)
+        print(f"ground-truth community: {len(truth)} nodes "
+              f"({overlap} overlap)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Commutative (permutation-invariant) aggregation operators — the big ⊕.
+
+CGNP combines the per-query views ``{H_q}`` into one context matrix ``H``
+(section VI).  Three options, mirroring the paper's ablation (Table IV):
+
+* **sum** — elementwise sum of the views (Eq. 14);
+* **mean** — sum divided by the number of views;
+* **self-attention** — views are re-weighted per node by a learned
+  scaled-dot-product attention over the view axis (Eq. 15-16, in the
+  spirit of the Attentive Neural Process), then averaged.
+
+All three are permutation-invariant in the support set, a property the
+test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import init
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+
+__all__ = ["SumAggregator", "MeanAggregator", "AttentionAggregator",
+           "make_aggregator", "AGGREGATORS"]
+
+
+class SumAggregator(Module):
+    """Elementwise sum of views (Eq. 14)."""
+
+    def forward(self, views: Sequence[Tensor]) -> Tensor:
+        _check_views(views)
+        out = views[0]
+        for view in views[1:]:
+            out = out + view
+        return out
+
+
+class MeanAggregator(Module):
+    """Elementwise average of views."""
+
+    def forward(self, views: Sequence[Tensor]) -> Tensor:
+        _check_views(views)
+        out = views[0]
+        for view in views[1:]:
+            out = out + view
+        return out * (1.0 / len(views))
+
+
+class AttentionAggregator(Module):
+    """Scaled-dot-product self-attention across the view axis.
+
+    For every node ``v`` the ``|Q|`` view embeddings are stacked into
+    ``H(v) ∈ R^{|Q| × d}``, projected by learned ``W1, W2`` into queries
+    and keys (Eq. 15), attention weights are the row-softmaxed scaled inner
+    products (Eq. 16), and the re-weighted views are averaged into the
+    combined representation.  With a single view this degenerates to the
+    identity (softmax of a 1×1 matrix is 1).
+
+    Parameters
+    ----------
+    dim:
+        Embedding width ``d_K`` of the views.
+    proj_dim:
+        Width ``d'`` of the query/key projections.
+    rng:
+        Generator for the projection init.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator, proj_dim: int = None):
+        super().__init__()
+        proj_dim = proj_dim or dim
+        self.dim = dim
+        self.proj_dim = proj_dim
+        self.w1 = Parameter(init.glorot_uniform((dim, proj_dim), rng))
+        self.w2 = Parameter(init.glorot_uniform((dim, proj_dim), rng))
+
+    def forward(self, views: Sequence[Tensor]) -> Tensor:
+        _check_views(views)
+        if len(views) == 1:
+            return views[0]
+        stacked = F.stack(list(views), axis=0)          # (Q, n, d)
+        per_node = stacked.transpose(1, 0, 2)           # (n, Q, d)
+        queries = per_node.matmul(self.w1)               # (n, Q, d')
+        keys = per_node.matmul(self.w2)                  # (n, Q, d')
+        scores = queries.matmul(keys.transpose(0, 2, 1))  # (n, Q, Q)
+        scores = scores * (1.0 / np.sqrt(self.proj_dim))
+        weights = F.softmax(scores, axis=-1)
+        mixed = weights.matmul(per_node)                 # (n, Q, d)
+        return mixed.mean(axis=1)                        # (n, d)
+
+
+AGGREGATORS = {"sum": SumAggregator, "mean": MeanAggregator,
+               "avg": MeanAggregator, "attention": AttentionAggregator}
+
+
+def make_aggregator(name: str, dim: int, rng: np.random.Generator) -> Module:
+    """Factory: ``name`` ∈ {"sum", "mean"/"avg", "attention"}."""
+    key = name.lower()
+    if key not in AGGREGATORS:
+        raise ValueError(f"unknown aggregator {name!r}; choose from {sorted(AGGREGATORS)}")
+    if key == "attention":
+        return AttentionAggregator(dim, rng)
+    return AGGREGATORS[key]()
+
+
+def _check_views(views: Sequence[Tensor]) -> None:
+    if not views:
+        raise ValueError("aggregator received no views")
+    shape = views[0].shape
+    for view in views[1:]:
+        if view.shape != shape:
+            raise ValueError(f"view shape mismatch: {view.shape} vs {shape}")

@@ -1,0 +1,74 @@
+"""Decision-threshold calibration (an extension beyond the paper).
+
+The paper thresholds the predictive probability at 0.5.  Because CGNP's
+inner-product logits are not calibrated probabilities, the F1-optimal
+threshold varies with the dataset's community-size balance.  This module
+selects the threshold maximising mean F1 on validation tasks — a cheap,
+pure-inference post-process that requires no retraining.
+
+The ablation bench (`benchmarks/bench_table4_ablation.py` companion in
+`bench_calibration.py`) quantifies the gain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.tensor import no_grad
+from ..tasks.task import Task
+from .model import CGNP
+
+__all__ = ["calibrate_threshold", "sweep_thresholds"]
+
+
+def _collect_scores(model: CGNP, tasks: Sequence[Task]
+                    ) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+    """(probabilities, ground-truth mask, query) for every validation query."""
+    model.eval()
+    collected = []
+    with no_grad():
+        for task in tasks:
+            context = model.context(task)
+            for example in task.queries:
+                logits = model.query_logits(context, example.query, task.graph)
+                collected.append((logits.sigmoid().data,
+                                  example.membership, example.query))
+    return collected
+
+
+def sweep_thresholds(model: CGNP, tasks: Sequence[Task],
+                     thresholds: Sequence[float]) -> List[Tuple[float, float]]:
+    """Mean validation F1 at each candidate threshold.
+
+    Probabilities are computed once; only the cut varies.
+    """
+    # Imported lazily: repro.eval depends on repro.core at import time, so
+    # a module-level import here would be circular.
+    from ..eval.metrics import binary_metrics
+
+    if not tasks:
+        raise ValueError("calibration needs at least one validation task")
+    scored = _collect_scores(model, tasks)
+    results = []
+    for threshold in thresholds:
+        f1_values = []
+        for probabilities, membership, query in scored:
+            predicted = probabilities >= threshold
+            predicted[query] = True
+            keep = np.ones_like(membership)
+            keep[query] = False
+            f1_values.append(binary_metrics(predicted[keep],
+                                            membership[keep]).f1)
+        results.append((float(threshold), float(np.mean(f1_values))))
+    return results
+
+
+def calibrate_threshold(model: CGNP, tasks: Sequence[Task],
+                        grid: Sequence[float] = tuple(np.linspace(0.1, 0.9, 17)),
+                        ) -> Tuple[float, float]:
+    """Best (threshold, mean F1) over ``grid`` on the validation tasks."""
+    swept = sweep_thresholds(model, tasks, grid)
+    best = max(swept, key=lambda pair: pair[1])
+    return best

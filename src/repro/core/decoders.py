@@ -1,0 +1,93 @@
+"""CGNP decoders ρ_θ: map (query node, context H) to membership logits.
+
+Three decoders of increasing capacity (section VI):
+
+* **inner product** — parameter-free: ``logit(v) = ⟨H[q*], H[v]⟩``
+  (Eq. 17); the angle between embeddings encodes community membership.
+* **MLP** — transforms the context with a two-layer MLP (512 hidden units
+  in the paper) before the inner product; nodes are transformed
+  independently.
+* **GNN** — transforms the context with an independent 2-layer GNN
+  (allowing further message passing) before the inner product.
+
+All decoders return *logits*; callers apply the sigmoid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph import Graph
+from ..nn.layers import MLP
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from ..gnn.encoder import GNNEncoder
+
+__all__ = ["InnerProductDecoder", "MLPDecoder", "GNNDecoder", "make_decoder", "DECODERS"]
+
+
+class InnerProductDecoder(Module):
+    """Parameter-free similarity decoder (Eq. 17)."""
+
+    def forward(self, context: Tensor, query: int, graph: Graph) -> Tensor:
+        query_embedding = context.take_rows(np.asarray([int(query)]))  # (1, d)
+        return context.matmul(query_embedding.reshape(-1))             # (n,)
+
+
+class MLPDecoder(Module):
+    """MLP-transformed context followed by the inner product.
+
+    Parameters
+    ----------
+    dim:
+        Context embedding width.
+    hidden_dim:
+        MLP hidden width (paper: 512).
+    rng:
+        Init generator.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator, hidden_dim: int = 512):
+        super().__init__()
+        self.mlp = MLP([dim, hidden_dim, dim], rng)
+        self.inner = InnerProductDecoder()
+
+    def forward(self, context: Tensor, query: int, graph: Graph) -> Tensor:
+        transformed = self.mlp(context)
+        return self.inner(transformed, query, graph)
+
+
+class GNNDecoder(Module):
+    """GNN-transformed context followed by the inner product.
+
+    The decoder GNN is independent of the encoder GNN (same conv type and
+    width, 2 layers by default per the paper's settings).
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator, conv: str = "gat",
+                 num_layers: int = 2, dropout: float = 0.2):
+        super().__init__()
+        self.gnn = GNNEncoder(dim, dim, num_layers, conv, dropout, rng)
+        self.inner = InnerProductDecoder()
+
+    def forward(self, context: Tensor, query: int, graph: Graph) -> Tensor:
+        transformed = self.gnn(context, graph)
+        return self.inner(transformed, query, graph)
+
+
+DECODERS = ("ip", "mlp", "gnn")
+
+
+def make_decoder(name: str, dim: int, rng: np.random.Generator,
+                 conv: str = "gat", mlp_hidden: int = 512) -> Module:
+    """Factory: ``name`` ∈ {"ip", "mlp", "gnn"}."""
+    key = name.lower()
+    if key == "ip":
+        return InnerProductDecoder()
+    if key == "mlp":
+        return MLPDecoder(dim, rng, hidden_dim=mlp_hidden)
+    if key == "gnn":
+        return GNNDecoder(dim, rng, conv=conv)
+    raise ValueError(f"unknown decoder {name!r}; choose from {DECODERS}")

@@ -1,0 +1,71 @@
+"""CGNP meta-testing — Algorithm 2 of the paper.
+
+For a test task ``T* = (G*, Q*, L*)``: the *entire* support set serves as
+the context observations; each held-out query is answered by one decoder
+pass — no parameter updates.  The context is computed once per task and
+reused for every query, matching Algorithm 2's structure (lines 2-4 once,
+line 5 per query).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.tensor import no_grad
+from ..tasks.task import QueryExample, Task
+from .model import CGNP
+
+__all__ = ["QueryPrediction", "meta_test_task", "predict_memberships"]
+
+
+@dataclasses.dataclass
+class QueryPrediction:
+    """Prediction for one held-out query of a test task."""
+
+    query: int
+    probabilities: np.ndarray   # membership probability per node
+    members: np.ndarray         # predicted community (node ids)
+    ground_truth: np.ndarray    # boolean mask (evaluation only)
+
+
+def meta_test_task(model: CGNP, task: Task, threshold: float = 0.5) -> List[QueryPrediction]:
+    """Run Algorithm 2 on every held-out query of ``task``."""
+    model.eval()
+    predictions: List[QueryPrediction] = []
+    with no_grad():
+        context = model.context(task)  # lines 1-4: S* → H
+        for example in task.queries:
+            logits = model.query_logits(context, example.query, task.graph)
+            probabilities = logits.sigmoid().data
+            members = probabilities >= threshold
+            members[example.query] = True
+            predictions.append(QueryPrediction(
+                query=example.query,
+                probabilities=probabilities,
+                members=np.flatnonzero(members),
+                ground_truth=example.membership,
+            ))
+    return predictions
+
+
+def predict_memberships(model: CGNP, task: Task, queries: List[int],
+                        threshold: float = 0.5) -> Dict[int, np.ndarray]:
+    """Answer arbitrary query nodes (no ground truth needed).
+
+    This is the deployment entry point: any node of the task graph can be
+    queried, returning its predicted community.
+    """
+    model.eval()
+    result: Dict[int, np.ndarray] = {}
+    with no_grad():
+        context = model.context(task)
+        for query in queries:
+            logits = model.query_logits(context, int(query), task.graph)
+            probabilities = logits.sigmoid().data
+            members = probabilities >= threshold
+            members[int(query)] = True
+            result[int(query)] = np.flatnonzero(members)
+    return result

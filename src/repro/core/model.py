@@ -1,0 +1,152 @@
+"""The Conditional Graph Neural Process model (sections V–VI).
+
+A CGNP is the composition of
+
+* a **GNN encoder** φ_θ that, for each support pair ``(q, l_q)``, encodes
+  the task graph with the ground-truth indicator channel into a
+  query-specific view ``H_q ∈ R^{n×d}`` (Eq. 13);
+* a **commutative operation** ⊕ combining the views into one context
+  matrix ``H`` (Eq. 14-16);
+* a **decoder** ρ_θ that, given a new query node ``q*``, produces a
+  membership logit for every node from ``H`` (Eq. 17).
+
+One model instance is the *meta* model: its parameters are shared across
+tasks, and "adaptation" to a task is just the forward computation of that
+task's context — no test-time gradient steps, which is where CGNP's test
+efficiency (Fig. 3a) comes from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..gnn.encoder import GNNEncoder, make_query_features
+from ..tasks.task import QueryExample, Task
+from .aggregators import make_aggregator
+from .decoders import make_decoder
+
+__all__ = ["CGNPConfig", "CGNP"]
+
+
+@dataclasses.dataclass
+class CGNPConfig:
+    """Hyper-parameters of a CGNP model (paper defaults)."""
+
+    hidden_dim: int = 128
+    num_layers: int = 3
+    conv: str = "gat"            # encoder convolution: gcn | gat | sage
+    aggregator: str = "sum"      # commutative ⊕: sum | mean | attention
+    decoder: str = "ip"          # ρ: ip | mlp | gnn
+    dropout: float = 0.2
+    mlp_hidden: int = 512
+    num_heads: int = 1
+    # None defers to the task's default feature configuration (which the
+    # scenario builders set, e.g. structural-only for cross-domain MGDD).
+    use_attributes: Optional[bool] = None
+    use_structural: Optional[bool] = None
+
+
+class CGNP(Module):
+    """Conditional Graph Neural Process for community search.
+
+    Parameters
+    ----------
+    in_dim:
+        Raw node-feature dimensionality of the tasks this model will see
+        (*excluding* the indicator channel, which the model adds itself).
+    config:
+        Architecture configuration.
+    rng:
+        Generator for parameter initialisation and dropout.
+    """
+
+    def __init__(self, in_dim: int, config: CGNPConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.in_dim = in_dim
+        self.encoder = GNNEncoder(
+            in_dim + 1,  # +1 for the ground-truth indicator channel
+            config.hidden_dim,
+            config.num_layers,
+            config.conv,
+            config.dropout,
+            rng,
+            num_heads=config.num_heads,
+        )
+        self.aggregator = make_aggregator(config.aggregator, config.hidden_dim, rng)
+        self.decoder = make_decoder(config.decoder, config.hidden_dim, rng,
+                                    conv=config.conv, mlp_hidden=config.mlp_hidden)
+
+    # ------------------------------------------------------------------
+    # Forward pieces
+    # ------------------------------------------------------------------
+    def encode_view(self, task: Task, example: QueryExample) -> Tensor:
+        """φ_θ(q, l_q, G): the query-specific view ``H_q``.
+
+        The indicator channel marks the query node and its known positive
+        samples (Eq. 13's close-world identifier ``I_l``).
+        """
+        features = task.features(self.config.use_attributes, self.config.use_structural)
+        inputs = make_query_features(features, example.query, example.positives)
+        return self.encoder(Tensor(inputs), task.graph)
+
+    def context(self, task: Task, support: Optional[Sequence[QueryExample]] = None) -> Tensor:
+        """⊕ over the support views: the task's context matrix ``H``."""
+        examples = list(support) if support is not None else task.support
+        if not examples:
+            raise ValueError("context requires at least one support example")
+        views = [self.encode_view(task, example) for example in examples]
+        return self.aggregator(views)
+
+    def query_logits(self, context: Tensor, query: int, graph: Graph) -> Tensor:
+        """ρ_θ(q*, H): membership logits of all nodes for query ``q*``."""
+        return self.decoder(context, query, graph)
+
+    def forward(self, task: Task, query: int,
+                support: Optional[Sequence[QueryExample]] = None) -> Tensor:
+        """Full pass: context from the support set, logits for ``query``."""
+        return self.query_logits(self.context(task, support), query, task.graph)
+
+    # ------------------------------------------------------------------
+    # Inference helpers (no autograd)
+    # ------------------------------------------------------------------
+    def predict_proba(self, task: Task, query: int,
+                      support: Optional[Sequence[QueryExample]] = None,
+                      context: Optional[Tensor] = None) -> np.ndarray:
+        """Membership probability of every node w.r.t. ``query``.
+
+        Passing a precomputed ``context`` amortises Algorithm 2's support
+        encoding across the queries of one task.
+        """
+        self.eval()
+        with no_grad():
+            if context is None:
+                context = self.context(task, support)
+            logits = self.query_logits(context, query, task.graph)
+            return logits.sigmoid().data
+
+    def search_community(self, task: Task, query: int, threshold: float = 0.5,
+                         support: Optional[Sequence[QueryExample]] = None,
+                         context: Optional[Tensor] = None) -> np.ndarray:
+        """Predicted community of ``query``: nodes with probability ≥ threshold.
+
+        The query node itself is always included (``q ∈ C_q`` by
+        definition).
+        """
+        probabilities = self.predict_proba(task, query, support, context)
+        members = probabilities >= threshold
+        members[int(query)] = True
+        return np.flatnonzero(members)
+
+    def describe(self) -> str:
+        """One-line architecture summary for logs and reports."""
+        c = self.config
+        return (f"CGNP(conv={c.conv}, agg={c.aggregator}, dec={c.decoder}, "
+                f"layers={c.num_layers}, hidden={c.hidden_dim}, "
+                f"params={self.num_parameters()})")

@@ -1,0 +1,30 @@
+"""``repro.datasets`` — synthetic stand-ins for the paper's six datasets."""
+
+from .registry import DATASET_BUILDERS, clear_cache, dataset_names, load_dataset
+from .synthetic import (
+    DatasetSpec,
+    MultiGraphDataset,
+    SingleGraphDataset,
+    build_arxiv,
+    build_citeseer,
+    build_cora,
+    build_dblp,
+    build_facebook,
+    build_reddit,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SingleGraphDataset",
+    "MultiGraphDataset",
+    "build_cora",
+    "build_citeseer",
+    "build_arxiv",
+    "build_dblp",
+    "build_reddit",
+    "build_facebook",
+    "DATASET_BUILDERS",
+    "load_dataset",
+    "dataset_names",
+    "clear_cache",
+]

@@ -1,0 +1,74 @@
+"""Dataset registry: name → builder, with caching.
+
+``load_dataset("cora")`` returns the same object on repeated calls (the
+synthetic builders are deterministic but not free), and the experiment
+harness refers to datasets by their paper names throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from .synthetic import (
+    MultiGraphDataset,
+    SingleGraphDataset,
+    build_arxiv,
+    build_citeseer,
+    build_cora,
+    build_dblp,
+    build_facebook,
+    build_reddit,
+)
+
+__all__ = ["DATASET_BUILDERS", "load_dataset", "dataset_names", "clear_cache"]
+
+Dataset = Union[SingleGraphDataset, MultiGraphDataset]
+
+DATASET_BUILDERS: Dict[str, Callable[..., Dataset]] = {
+    "cora": build_cora,
+    "citeseer": build_citeseer,
+    "arxiv": build_arxiv,
+    "dblp": build_dblp,
+    "reddit": build_reddit,
+    "facebook": build_facebook,
+}
+
+_CACHE: Dict[tuple, Dataset] = {}
+
+
+def dataset_names() -> List[str]:
+    """Registered dataset names (the paper's six)."""
+    return sorted(DATASET_BUILDERS)
+
+
+def load_dataset(name: str, seed: Optional[int] = None, scale: float = 1.0,
+                 cache: bool = True) -> Dataset:
+    """Build (or fetch the cached) dataset ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names`.
+    seed:
+        Override the builder's default seed.
+    scale:
+        Node-count scale factor — benches use ``scale < 1`` for speed.
+    cache:
+        Reuse a previously-built instance with identical arguments.
+    """
+    key = name.lower()
+    if key not in DATASET_BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}")
+    cache_key = (key, seed, scale)
+    if cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+    builder = DATASET_BUILDERS[key]
+    dataset = builder(scale=scale) if seed is None else builder(seed=seed, scale=scale)
+    if cache:
+        _CACHE[cache_key] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (tests use this to control memory)."""
+    _CACHE.clear()

@@ -1,0 +1,107 @@
+"""Evaluator: run a :class:`CommunitySearchMethod` over a task set.
+
+Produces the four paper metrics (per-query averaged) plus the wall-clock
+split the efficiency figures need: total meta-training time and total test
+time (which for adaptive methods includes their per-task fine-tuning).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import CommunitySearchMethod
+from ..tasks.task import Task, TaskSet
+from .metrics import Metrics, community_metrics, mean_metrics
+
+__all__ = ["EvaluationResult", "evaluate_method", "evaluate_methods"]
+
+
+@dataclasses.dataclass
+class EvaluationResult:
+    """Outcome of one method on one task set."""
+
+    method: str
+    metrics: Metrics
+    train_time: float          # meta-training wall-clock (0 when no stage)
+    test_time: float           # total prediction wall-clock over test tasks
+    per_query: List[Metrics]   # raw per-query metrics
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict for table assembly."""
+        return {
+            "method": self.method,
+            "acc": self.metrics.accuracy,
+            "pre": self.metrics.precision,
+            "rec": self.metrics.recall,
+            "f1": self.metrics.f1,
+            "train_time": self.train_time,
+            "test_time": self.test_time,
+        }
+
+
+def evaluate_method(method: CommunitySearchMethod, tasks: TaskSet,
+                    rng: Optional[np.random.Generator] = None,
+                    num_shots: Optional[int] = None,
+                    skip_meta_fit: bool = False) -> EvaluationResult:
+    """Meta-fit on ``tasks.train`` then score on ``tasks.test``.
+
+    Parameters
+    ----------
+    method:
+        The approach under evaluation.
+    tasks:
+        Scenario task set.
+    rng:
+        Generator forwarded to ``meta_fit``.
+    num_shots:
+        Optionally truncate every task's support set (1-shot vs 5-shot
+        columns of Tables II/III).
+    skip_meta_fit:
+        Reuse a previously fitted method (the shot sweep fits once).
+    """
+    train = tasks.train
+    valid = tasks.valid
+    test = tasks.test
+    if num_shots is not None:
+        train = [t.with_shots(min(num_shots, t.num_shots)) for t in train]
+        valid = [t.with_shots(min(num_shots, t.num_shots)) for t in valid]
+        test = [t.with_shots(min(num_shots, t.num_shots)) for t in test]
+
+    train_time = 0.0
+    if not skip_meta_fit:
+        start = time.perf_counter()
+        method.meta_fit(train, valid, rng)
+        train_time = time.perf_counter() - start
+        if not method.trains_meta:
+            train_time = 0.0  # per-task methods have no meta stage
+
+    per_query: List[Metrics] = []
+    start = time.perf_counter()
+    for task in test:
+        for prediction in method.predict_task(task):
+            per_query.append(community_metrics(
+                prediction.members, prediction.ground_truth, prediction.query))
+    test_time = time.perf_counter() - start
+
+    return EvaluationResult(
+        method=method.name,
+        metrics=mean_metrics(per_query),
+        train_time=train_time,
+        test_time=test_time,
+        per_query=per_query,
+    )
+
+
+def evaluate_methods(methods: Sequence[CommunitySearchMethod], tasks: TaskSet,
+                     rng: Optional[np.random.Generator] = None,
+                     num_shots: Optional[int] = None) -> List[EvaluationResult]:
+    """Evaluate several methods on the same task set."""
+    results = []
+    for method in methods:
+        child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1)) if rng else None
+        results.append(evaluate_method(method, tasks, child, num_shots=num_shots))
+    return results

@@ -1,0 +1,94 @@
+"""Evaluation metrics: accuracy, precision, recall, F1.
+
+The paper scores a predicted community against the full ground-truth
+community over the nodes of the task graph, excluding the query node
+itself (it is trivially a member).  F1 is the headline metric because the
+positive class is small — a model predicting "nobody" reaches high
+accuracy but zero recall, which is exactly the failure mode Table II shows
+for the optimisation-based baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["Metrics", "binary_metrics", "community_metrics", "mean_metrics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Metrics:
+    """Accuracy / precision / recall / F1 bundle."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return (f"acc={self.accuracy:.4f} pre={self.precision:.4f} "
+                f"rec={self.recall:.4f} f1={self.f1:.4f}")
+
+
+def binary_metrics(predicted: np.ndarray, actual: np.ndarray) -> Metrics:
+    """Metrics from two boolean masks of equal length.
+
+    Degenerate conventions (all consistent with scikit-learn's
+    ``zero_division=0``): precision is 0 when nothing is predicted
+    positive, recall is 0 when there are no actual positives, and F1 is 0
+    whenever precision + recall is 0.
+    """
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    if predicted.size == 0:
+        raise ValueError("cannot score empty masks")
+
+    true_positive = int(np.sum(predicted & actual))
+    false_positive = int(np.sum(predicted & ~actual))
+    false_negative = int(np.sum(~predicted & actual))
+    true_negative = int(np.sum(~predicted & ~actual))
+
+    total = true_positive + false_positive + false_negative + true_negative
+    accuracy = (true_positive + true_negative) / total
+    precision = (true_positive / (true_positive + false_positive)
+                 if true_positive + false_positive > 0 else 0.0)
+    recall = (true_positive / (true_positive + false_negative)
+              if true_positive + false_negative > 0 else 0.0)
+    f1 = (2.0 * precision * recall / (precision + recall)
+          if precision + recall > 0 else 0.0)
+    return Metrics(accuracy=accuracy, precision=precision, recall=recall, f1=f1)
+
+
+def community_metrics(predicted_members: Iterable[int], ground_truth: np.ndarray,
+                      query: int) -> Metrics:
+    """Score a predicted community (node ids) against a ground-truth mask.
+
+    The query node is excluded from scoring on both sides.
+    """
+    ground_truth = np.asarray(ground_truth, dtype=bool)
+    predicted = np.zeros_like(ground_truth)
+    members = np.asarray(list(predicted_members), dtype=np.int64)
+    if members.size:
+        predicted[members] = True
+    keep = np.ones_like(ground_truth)
+    keep[int(query)] = False
+    return binary_metrics(predicted[keep], ground_truth[keep])
+
+
+def mean_metrics(metrics: Sequence[Metrics]) -> Metrics:
+    """Unweighted mean of metric bundles (the paper averages per query)."""
+    if not metrics:
+        raise ValueError("cannot average an empty metric list")
+    return Metrics(
+        accuracy=float(np.mean([m.accuracy for m in metrics])),
+        precision=float(np.mean([m.precision for m in metrics])),
+        recall=float(np.mean([m.recall for m in metrics])),
+        f1=float(np.mean([m.f1 for m in metrics])),
+    )

@@ -1,0 +1,121 @@
+"""Terminal plots for the figure reproductions.
+
+The paper's Figures 3-5 are bar/line charts; these helpers render their
+shapes directly in the bench output so a reviewer can eyeball the curves
+without leaving the terminal:
+
+* :func:`bar_chart` — horizontal log/linear bars (Fig. 3 time comparison);
+* :func:`line_chart` — multi-series line plot on a character grid
+  (Fig. 4 growth curves, Fig. 5 F1-vs-ratio series).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: Optional[str] = None, width: int = 50,
+              log_scale: bool = False, unit: str = "") -> str:
+    """Horizontal bar chart.
+
+    Parameters
+    ----------
+    labels, values:
+        One bar per (label, value); values must be non-negative.
+    title:
+        Optional heading.
+    width:
+        Maximum bar width in characters.
+    log_scale:
+        Scale bar lengths by log10 (the paper's Fig. 3 y-axis is log);
+        zero/near-zero values render as a single tick.
+    unit:
+        Suffix printed after each value (e.g. ``"s"``).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+
+    if log_scale:
+        floor = min((v for v in values if v > 0), default=1.0)
+        def scaled(v: float) -> float:
+            if v <= 0:
+                return 0.0
+            return math.log10(v / floor) + 1.0
+    else:
+        def scaled(v: float) -> float:
+            return float(v)
+
+    top = max(scaled(v) for v in values) or 1.0
+    label_width = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        bar = "█" * max(int(round(width * scaled(value) / top)),
+                        1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(x_values: Sequence[float], series: Dict[str, Sequence[float]],
+               title: Optional[str] = None, height: int = 12, width: int = 60,
+               y_label: str = "", x_label: str = "") -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series is drawn with its own marker; a legend maps markers to
+    series names.  X positions are spaced by rank (categorical), matching
+    how the paper's sweeps place their ticks.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "ox+*#@%&"
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_values)}:
+        raise ValueError("every series must have one value per x tick")
+
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    xs = [int(round(i * (width - 1) / max(n - 1, 1))) for i in range(n)]
+
+    def row_of(value: float) -> int:
+        fraction = (value - lo) / (hi - lo)
+        return (height - 1) - int(round(fraction * (height - 1)))
+
+    for (name, values), marker in zip(series.items(), markers):
+        for i, value in enumerate(values):
+            r, c = row_of(value), xs[i]
+            grid[r][c] = marker if grid[r][c] == " " else "◆"  # collision
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:8.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.3f} ┤" + "".join(grid[-1]))
+    axis = " " * 8 + " └" + "─" * width
+    lines.append(axis)
+    tick_line = [" "] * (width + 18)  # room for the last tick's label
+    for i, x in enumerate(x_values):
+        label = f"{x:g}"
+        start = 10 + xs[i]
+        for j, ch in enumerate(label):
+            if start + j < len(tick_line):
+                tick_line[start + j] = ch
+    lines.append("".join(tick_line).rstrip() + (f"  ({x_label})" if x_label else ""))
+    legend = "   ".join(f"{marker}={name}"
+                        for (name, _), marker in zip(series.items(), markers))
+    lines.append(f"legend: {legend}" + (f"   y: {y_label}" if y_label else ""))
+    return "\n".join(lines)

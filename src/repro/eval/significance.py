@@ -1,0 +1,102 @@
+"""Statistical comparison of methods: paired bootstrap on per-query F1.
+
+The paper reports point estimates; with a synthetic substrate and reduced
+task counts, the reproduction additionally wants to know whether "method A
+beats method B" is resolved by the data or within noise.  The standard
+tool is the paired bootstrap over the shared per-query metric vector:
+resample queries with replacement and count how often the mean-F1
+difference keeps its sign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .evaluator import EvaluationResult
+from .metrics import Metrics
+
+__all__ = ["PairedComparison", "paired_bootstrap", "compare_results"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired bootstrap between two methods."""
+
+    method_a: str
+    method_b: str
+    mean_difference: float     # mean F1(a) − mean F1(b)
+    p_value: float             # P(difference sign flips under resampling)
+    significant: bool          # p_value < alpha
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return (f"{self.method_a} − {self.method_b}: "
+                f"ΔF1={self.mean_difference:+.4f} (p={self.p_value:.4f}, "
+                f"{verdict})")
+
+
+def paired_bootstrap(scores_a: Sequence[float], scores_b: Sequence[float],
+                     rng: np.random.Generator, num_samples: int = 2000,
+                     alpha: float = 0.05,
+                     name_a: str = "A", name_b: str = "B") -> PairedComparison:
+    """Paired bootstrap test on two aligned per-query score vectors.
+
+    The p-value is the fraction of bootstrap resamples whose mean
+    difference has the opposite sign (or is zero) of the observed one —
+    a one-sided sign-stability test.
+    """
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("score vectors must be 1-D and aligned")
+    if a.size < 2:
+        raise ValueError("need at least two paired scores")
+
+    observed = float(a.mean() - b.mean())
+    if observed == 0.0:
+        return PairedComparison(name_a, name_b, 0.0, 1.0, False)
+    sign = np.sign(observed)
+    indices = rng.integers(0, a.size, size=(num_samples, a.size))
+    diffs = (a[indices] - b[indices]).mean(axis=1)
+    flips = int(np.sum(np.sign(diffs) != sign))
+    p_value = flips / num_samples
+    return PairedComparison(name_a, name_b, observed, p_value,
+                            p_value < alpha)
+
+
+def compare_results(results: Sequence[EvaluationResult],
+                    rng: np.random.Generator,
+                    baseline: Optional[str] = None,
+                    num_samples: int = 2000,
+                    alpha: float = 0.05) -> List[PairedComparison]:
+    """Compare every method's per-query F1 against a baseline method.
+
+    ``baseline`` defaults to the method with the highest mean F1.  All
+    results must come from the same task set (aligned query order), which
+    :func:`repro.eval.evaluate_methods` guarantees.
+    """
+    if len(results) < 2:
+        raise ValueError("need at least two results to compare")
+    lengths = {len(r.per_query) for r in results}
+    if len(lengths) != 1:
+        raise ValueError("results are not aligned (different query counts)")
+
+    if baseline is None:
+        baseline = max(results, key=lambda r: r.metrics.f1).method
+    reference = next((r for r in results if r.method == baseline), None)
+    if reference is None:
+        raise KeyError(f"baseline {baseline!r} not among results")
+
+    reference_scores = [m.f1 for m in reference.per_query]
+    comparisons = []
+    for result in results:
+        if result.method == baseline:
+            continue
+        scores = [m.f1 for m in result.per_query]
+        comparisons.append(paired_bootstrap(
+            reference_scores, scores, rng, num_samples=num_samples,
+            alpha=alpha, name_a=baseline, name_b=result.method))
+    return comparisons

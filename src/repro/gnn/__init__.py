@@ -1,0 +1,17 @@
+"""``repro.gnn`` — graph convolutions and K-layer encoders."""
+
+from .conv import CONV_TYPES, GATConv, GCNConv, GraphOps, SAGEConv, graph_ops
+from .encoder import DEFAULTS, GNNEncoder, GNNNodeClassifier, make_query_features
+
+__all__ = [
+    "GCNConv",
+    "GATConv",
+    "SAGEConv",
+    "GraphOps",
+    "graph_ops",
+    "CONV_TYPES",
+    "GNNEncoder",
+    "GNNNodeClassifier",
+    "make_query_features",
+    "DEFAULTS",
+]

@@ -1,0 +1,151 @@
+"""Graph convolution layers: GCN, GAT and GraphSAGE.
+
+The paper investigates these three as CGNP's encoder (section VII-E,
+Table IV) and uses GAT by default.  Each layer follows the original
+formulation:
+
+* **GCNConv** (Kipf & Welling 2017): ``H' = D̂^{-1/2} Â D̂^{-1/2} H W``.
+* **GATConv** (Velickovic et al. 2018): attention logits
+  ``e_ij = LeakyReLU(a_l·Wh_i + a_r·Wh_j)`` normalised by softmax over
+  each node's in-edges (self-loops included), multi-head by averaging.
+* **SAGEConv** (Hamilton et al. 2017), mean aggregator:
+  ``H' = [H ‖ D^{-1} A H] W``.
+
+Graph-dependent operators (normalised adjacency, edge lists with
+self-loops) are computed once per :class:`~repro.graph.graph.Graph` and
+cached on the instance by :func:`graph_ops`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import Graph
+from ..nn import functional as F
+from ..nn import init
+from ..nn.module import Module, Parameter
+from ..nn.sparse import normalized_adjacency, row_normalized_adjacency, spmm
+from ..nn.tensor import Tensor
+
+__all__ = ["GraphOps", "graph_ops", "GCNConv", "GATConv", "SAGEConv", "CONV_TYPES"]
+
+
+@dataclasses.dataclass
+class GraphOps:
+    """Cached message-passing operators of one graph."""
+
+    norm_adj: sp.csr_matrix          # GCN: D̂^{-1/2}(A+I)D̂^{-1/2}
+    row_norm_adj: sp.csr_matrix      # SAGE mean aggregator: D^{-1}A
+    edge_src: np.ndarray             # GAT: directed edges + self-loops
+    edge_dst: np.ndarray
+    num_nodes: int
+
+
+def graph_ops(graph: Graph) -> GraphOps:
+    """Build (or fetch the cached) :class:`GraphOps` for ``graph``."""
+    cached = getattr(graph, "_gnn_ops", None)
+    if cached is not None:
+        return cached
+    src, dst = graph.directed_edges()
+    loops = np.arange(graph.num_nodes, dtype=np.int64)
+    ops = GraphOps(
+        norm_adj=normalized_adjacency(graph.adjacency),
+        row_norm_adj=row_normalized_adjacency(graph.adjacency),
+        edge_src=np.concatenate([src, loops]),
+        edge_dst=np.concatenate([dst, loops]),
+        num_nodes=graph.num_nodes,
+    )
+    graph._gnn_ops = ops  # lazily memoised on the graph instance
+    return ops
+
+
+class GCNConv(Module):
+    """Graph convolution of Kipf & Welling."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
+        out = spmm(ops.norm_adj, x.matmul(self.weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class GATConv(Module):
+    """Graph attention convolution of Velickovic et al.
+
+    Multi-head attention with head-averaged outputs (keeping the layer
+    width equal to ``out_features`` regardless of head count, as the paper
+    fixes 128 hidden units per layer).
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 num_heads: int = 1, negative_slope: float = 0.2, bias: bool = True):
+        super().__init__()
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.num_heads = num_heads
+        self.negative_slope = negative_slope
+        self.weight = Parameter(
+            init.glorot_uniform((num_heads, in_features, out_features), rng))
+        self.attn_src = Parameter(init.glorot_uniform((num_heads, out_features), rng))
+        self.attn_dst = Parameter(init.glorot_uniform((num_heads, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
+        head_outputs = []
+        for head in range(self.num_heads):
+            weight = self.weight[head]           # (in, out)
+            h = x.matmul(weight)                 # (n, out)
+            score_src = (h * self.attn_src[head]).sum(axis=1)   # (n,)
+            score_dst = (h * self.attn_dst[head]).sum(axis=1)   # (n,)
+            logits = F.leaky_relu(
+                score_src.take_rows(ops.edge_src) + score_dst.take_rows(ops.edge_dst),
+                self.negative_slope,
+            )                                    # (E,)
+            alpha = F.segment_softmax(logits, ops.edge_dst, ops.num_nodes)
+            messages = h.take_rows(ops.edge_src) * alpha.reshape(-1, 1)
+            head_outputs.append(F.scatter_add(messages, ops.edge_dst, ops.num_nodes))
+        out = head_outputs[0]
+        if self.num_heads > 1:
+            for other in head_outputs[1:]:
+                out = out + other
+            out = out * (1.0 / self.num_heads)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class SAGEConv(Module):
+    """GraphSAGE with the mean aggregator: ``[h_v ‖ mean(h_N(v))] W``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_self = Parameter(init.glorot_uniform((in_features, out_features), rng))
+        self.weight_neigh = Parameter(init.glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
+        neighbor_mean = spmm(ops.row_norm_adj, x)
+        out = x.matmul(self.weight_self) + neighbor_mean.matmul(self.weight_neigh)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+CONV_TYPES = {"gcn": GCNConv, "gat": GATConv, "sage": SAGEConv}

@@ -1,0 +1,145 @@
+"""K-layer GNN encoders.
+
+Two encoder flavours back the whole reproduction:
+
+* :class:`GNNEncoder` — the plain stack used by CGNP's φ and ρ-GNN: takes a
+  node feature matrix and a graph, returns ``(n, hidden)`` embeddings.
+* :class:`GNNNodeClassifier` — encoder plus a scalar output head and
+  sigmoid, the "simple GNN approach" of section IV that all naive
+  baselines (Supervised, FeatTrans, MAML, Reptile, ICS-GNN, AQD-GNN)
+  build on: input features are ``[I_q(v) ‖ A(v) ‖ structural]`` and the
+  output is the membership probability of every node w.r.t. the query.
+
+Paper defaults: 3 layers, 128 hidden units, dropout 0.2, GAT convolution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph
+from ..nn import functional as F
+from ..nn.layers import Dropout
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor
+from .conv import CONV_TYPES, graph_ops
+
+__all__ = ["GNNEncoder", "GNNNodeClassifier", "make_query_features", "DEFAULTS"]
+
+DEFAULTS = {"num_layers": 3, "hidden_dim": 128, "dropout": 0.2, "conv": "gat"}
+
+
+def make_query_features(features: np.ndarray, query: int,
+                        positives: Optional[np.ndarray] = None) -> np.ndarray:
+    """Prefix the query/ground-truth indicator channel to node features.
+
+    Implements Eq. 13: ``h⁰_v = [I_l(v) ‖ A(v)]`` where the indicator is 1
+    for the query node and (when given) its known positive samples.
+    """
+    indicator = np.zeros((features.shape[0], 1))
+    indicator[int(query), 0] = 1.0
+    if positives is not None and len(positives) > 0:
+        indicator[np.asarray(positives, dtype=np.int64), 0] = 1.0
+    return np.concatenate([indicator, features], axis=1)
+
+
+class GNNEncoder(Module):
+    """Stack of graph convolutions with ReLU/ELU activations and dropout.
+
+    Parameters
+    ----------
+    in_dim:
+        Input feature dimensionality (including the indicator channel when
+        the caller prepends one).
+    hidden_dim:
+        Width of every layer (paper: 128).
+    num_layers:
+        Number of convolutions (paper: 3).
+    conv:
+        One of ``"gcn"``, ``"gat"``, ``"sage"``.
+    dropout:
+        Dropout probability between layers (paper: 0.2).
+    rng:
+        Generator for weight init and dropout masks.
+    activate_final:
+        Whether the last layer output is passed through the activation
+        (CGNP leaves the final embedding linear).
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, num_layers: int,
+                 conv: str, dropout: float, rng: np.random.Generator,
+                 activate_final: bool = False, num_heads: int = 1):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("encoder needs at least one layer")
+        conv = conv.lower()
+        if conv not in CONV_TYPES:
+            raise ValueError(f"unknown conv {conv!r}; choose from {sorted(CONV_TYPES)}")
+        self.conv_name = conv
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.activate_final = activate_final
+        conv_cls = CONV_TYPES[conv]
+        layers: List[Module] = []
+        for index in range(num_layers):
+            d_in = in_dim if index == 0 else hidden_dim
+            if conv == "gat":
+                layers.append(conv_cls(d_in, hidden_dim, rng, num_heads=num_heads))
+            else:
+                layers.append(conv_cls(d_in, hidden_dim, rng))
+        self.convs = ModuleList(layers)
+        self.dropouts = ModuleList([Dropout(dropout, rng) for _ in range(num_layers)])
+
+    def _activation(self, x: Tensor) -> Tensor:
+        # ELU after attention layers (GAT convention), ReLU otherwise.
+        return F.elu(x) if self.conv_name == "gat" else F.relu(x)
+
+    def forward(self, features: Tensor, graph: Graph) -> Tensor:
+        ops = graph_ops(graph)
+        x = features
+        last = self.num_layers - 1
+        for index, conv in enumerate(self.convs):
+            x = conv(x, ops)
+            if index < last or self.activate_final:
+                x = self._activation(x)
+                x = self.dropouts[index](x)
+        return x
+
+
+class GNNNodeClassifier(Module):
+    """Query-conditioned binary node classifier (section IV's base GNN).
+
+    ``forward`` returns per-node logits; ``predict_proba`` applies the
+    sigmoid.  The final hidden layer maps to a single unit, as in the
+    paper ("the 1-dimensional node representation h^K is activated by a
+    sigmoid").
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, num_layers: int,
+                 conv: str, dropout: float, rng: np.random.Generator,
+                 num_heads: int = 1):
+        super().__init__()
+        self.encoder = GNNEncoder(in_dim, hidden_dim, max(num_layers - 1, 1),
+                                  conv, dropout, rng,
+                                  activate_final=True, num_heads=num_heads)
+        conv_cls = CONV_TYPES[conv.lower()]
+        if conv.lower() == "gat":
+            self.head = conv_cls(hidden_dim, 1, rng, num_heads=num_heads)
+        else:
+            self.head = conv_cls(hidden_dim, 1, rng)
+
+    def forward(self, features: Tensor, graph: Graph) -> Tensor:
+        hidden = self.encoder(features, graph)
+        logits = self.head(hidden, graph_ops(graph))
+        return logits.reshape(-1)
+
+    def predict_proba(self, features: Tensor, graph: Graph) -> np.ndarray:
+        """Membership probability of every node (no autograd)."""
+        from ..nn.tensor import no_grad
+
+        with no_grad():
+            logits = self.forward(features, graph)
+        return logits.sigmoid().data

@@ -1,0 +1,58 @@
+"""``repro.graph`` — the graph substrate: data structure, algorithms,
+feature pipeline, generators and conversions."""
+
+from .algorithms import (
+    bfs_distances,
+    bfs_order,
+    bfs_sample,
+    component_of,
+    connected_components,
+    connected_k_core_containing,
+    core_numbers,
+    edge_support,
+    graph_diameter_estimate,
+    k_core_subgraph,
+    k_truss_nodes,
+    local_clustering_coefficients,
+    max_truss_containing,
+    triangle_counts,
+    trussness,
+)
+from .builders import from_edge_list, from_networkx, to_networkx
+from .features import feature_dimension, node_feature_matrix, structural_features
+from .generators import (
+    attributed_community_graph,
+    community_sizes,
+    ego_network,
+    planted_partition_graph,
+)
+from .graph import Graph
+
+__all__ = [
+    "Graph",
+    "core_numbers",
+    "k_core_subgraph",
+    "connected_k_core_containing",
+    "triangle_counts",
+    "local_clustering_coefficients",
+    "edge_support",
+    "trussness",
+    "k_truss_nodes",
+    "max_truss_containing",
+    "bfs_order",
+    "bfs_sample",
+    "bfs_distances",
+    "connected_components",
+    "component_of",
+    "graph_diameter_estimate",
+    "from_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "node_feature_matrix",
+    "structural_features",
+    "feature_dimension",
+    "planted_partition_graph",
+    "attributed_community_graph",
+    "ego_network",
+    "community_sizes",
+]

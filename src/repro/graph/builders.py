@@ -1,0 +1,66 @@
+"""Conversions between :class:`~repro.graph.graph.Graph` and networkx.
+
+networkx is used only for cross-validation in tests and for users who want
+to bring their own graphs; the library's own pipelines never depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["from_networkx", "to_networkx", "from_edge_list"]
+
+
+def from_edge_list(edges: Iterable, num_nodes: Optional[int] = None,
+                   name: str = "graph") -> Graph:
+    """Build a graph from an iterable of (u, v) pairs.
+
+    ``num_nodes`` defaults to ``max id + 1``.
+    """
+    edge_array = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+    if num_nodes is None:
+        num_nodes = int(edge_array.max()) + 1 if edge_array.size else 1
+    return Graph(num_nodes=num_nodes, edges=edge_array, name=name)
+
+
+def from_networkx(nx_graph: "nx.Graph", name: str = "graph") -> Graph:
+    """Convert a networkx graph (nodes are relabelled to 0..n-1).
+
+    Node attribute ``"community"`` (an int or iterable of ints), if present
+    on every node, is converted to ground-truth communities.
+    """
+    nodes = list(nx_graph.nodes())
+    local = {v: i for i, v in enumerate(nodes)}
+    edges = np.asarray([(local[u], local[v]) for u, v in nx_graph.edges()],
+                       dtype=np.int64).reshape(-1, 2)
+
+    communities = None
+    if nodes and all("community" in nx_graph.nodes[v] for v in nodes):
+        groups = {}
+        for v in nodes:
+            labels = nx_graph.nodes[v]["community"]
+            if isinstance(labels, (int, np.integer)):
+                labels = [labels]
+            for label in labels:
+                groups.setdefault(label, []).append(local[v])
+        communities = list(groups.values())
+
+    return Graph(num_nodes=len(nodes), edges=edges, communities=communities,
+                 name=name)
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert to networkx; community ids are attached as node attributes."""
+    result = nx.Graph()
+    result.add_nodes_from(range(graph.num_nodes))
+    result.add_edges_from((int(u), int(v)) for u, v in graph.edges)
+    for node in range(graph.num_nodes):
+        memberships = graph.communities_of(node)
+        if memberships:
+            result.nodes[node]["community"] = memberships
+    return result

@@ -1,0 +1,237 @@
+"""The :class:`Graph` container used throughout the reproduction.
+
+A graph is an undirected simple graph stored as a CSR adjacency matrix plus
+(optionally) a dense node-attribute matrix and per-node community labels.
+Nodes are integers ``0..n-1``.  Instances are treated as immutable after
+construction; derived graphs (induced subgraphs) are new objects that retain
+a ``parent_nodes`` mapping back to the original node ids.
+
+Community ground truth is stored as a list of node sets (communities may
+overlap, as in the Facebook ego-network circles) together with a reverse
+node → community-ids index for O(1) lookups by the task samplers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected attributed graph with optional community ground truth.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; node ids are ``0..n-1``.
+    edges:
+        Array-like of shape ``(m, 2)`` of undirected edges.  Self-loops and
+        duplicate/reversed copies are removed.
+    attributes:
+        Optional ``(n, d)`` dense attribute matrix (the paper's one-hot
+        keyword/profile features).
+    communities:
+        Optional iterable of node collections — the ground-truth communities
+        ``C(G)``.  May overlap.
+    name:
+        Human-readable dataset/graph label used in reports.
+    parent_nodes:
+        When this graph was induced from a larger one, the original node id
+        of each local node.
+    """
+
+    def __init__(self, num_nodes: int, edges,
+                 attributes: Optional[np.ndarray] = None,
+                 communities: Optional[Iterable[Iterable[int]]] = None,
+                 name: str = "graph",
+                 parent_nodes: Optional[np.ndarray] = None):
+        if num_nodes <= 0:
+            raise ValueError("graph must have at least one node")
+        self.num_nodes = int(num_nodes)
+        self.name = name
+
+        edge_array = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        edge_array = self._canonicalize_edges(edge_array, self.num_nodes)
+        self._edges = edge_array  # canonical (u < v), unique, no self-loops
+
+        self.adjacency = self._build_adjacency(edge_array, self.num_nodes)
+
+        if attributes is not None:
+            attributes = np.asarray(attributes, dtype=np.float64)
+            if attributes.shape[0] != self.num_nodes:
+                raise ValueError(
+                    f"attribute matrix has {attributes.shape[0]} rows for "
+                    f"{self.num_nodes} nodes"
+                )
+        self.attributes = attributes
+
+        self.communities: List[FrozenSet[int]] = []
+        self._node_communities: Dict[int, List[int]] = {}
+        if communities is not None:
+            for community in communities:
+                members = frozenset(int(v) for v in community)
+                if not members:
+                    continue
+                bad = [v for v in members if not 0 <= v < self.num_nodes]
+                if bad:
+                    raise ValueError(f"community contains out-of-range nodes {bad[:3]}")
+                index = len(self.communities)
+                self.communities.append(members)
+                for node in members:
+                    self._node_communities.setdefault(node, []).append(index)
+
+        if parent_nodes is not None:
+            parent_nodes = np.asarray(parent_nodes, dtype=np.int64)
+            if parent_nodes.shape != (self.num_nodes,):
+                raise ValueError("parent_nodes must have one entry per node")
+        self.parent_nodes = parent_nodes
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _canonicalize_edges(edges: np.ndarray, num_nodes: int) -> np.ndarray:
+        """Drop self-loops/duplicates and orient every edge as (min, max)."""
+        if edges.size == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        if edges.min() < 0 or edges.max() >= num_nodes:
+            raise ValueError("edge endpoint out of range")
+        low = np.minimum(edges[:, 0], edges[:, 1])
+        high = np.maximum(edges[:, 0], edges[:, 1])
+        keep = low != high
+        canonical = np.stack([low[keep], high[keep]], axis=1)
+        if canonical.size == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.unique(canonical, axis=0)
+
+    @staticmethod
+    def _build_adjacency(edges: np.ndarray, num_nodes: int) -> sp.csr_matrix:
+        if edges.size == 0:
+            return sp.csr_matrix((num_nodes, num_nodes))
+        rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        cols = np.concatenate([edges[:, 1], edges[:, 0]])
+        data = np.ones(rows.shape[0], dtype=np.float64)
+        return sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._edges.shape[0]
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Canonical ``(m, 2)`` edge array (u < v)."""
+        return self._edges
+
+    @property
+    def num_attributes(self) -> int:
+        return 0 if self.attributes is None else self.attributes.shape[1]
+
+    @property
+    def num_communities(self) -> int:
+        return len(self.communities)
+
+    def directed_edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Both orientations of every edge as (sources, destinations).
+
+        This is the edge-list view GAT-style message passing consumes: a
+        message flows along each directed copy.
+        """
+        src = np.concatenate([self._edges[:, 0], self._edges[:, 1]])
+        dst = np.concatenate([self._edges[:, 1], self._edges[:, 0]])
+        return src, dst
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of ``node``."""
+        start, stop = self.adjacency.indptr[node], self.adjacency.indptr[node + 1]
+        return self.adjacency.indices[start:stop]
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node."""
+        return np.diff(self.adjacency.indptr).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        neighbors = self.neighbors(u)
+        return bool(np.searchsorted(neighbors, v) < len(neighbors)
+                    and neighbors[np.searchsorted(neighbors, v)] == v)
+
+    # ------------------------------------------------------------------
+    # Community ground truth
+    # ------------------------------------------------------------------
+    def communities_of(self, node: int) -> List[int]:
+        """Indices of ground-truth communities containing ``node``."""
+        return list(self._node_communities.get(int(node), []))
+
+    def community_members(self, index: int) -> FrozenSet[int]:
+        return self.communities[index]
+
+    def ground_truth_community(self, node: int) -> Set[int]:
+        """Union of all ground-truth communities containing ``node``.
+
+        This is the target set ``C_q(G)`` the paper's F1 is measured
+        against.  Returns an empty set if the node is in no community.
+        """
+        members: Set[int] = set()
+        for index in self.communities_of(node):
+            members |= self.communities[index]
+        return members
+
+    def nodes_with_ground_truth(self) -> np.ndarray:
+        """Nodes belonging to at least one ground-truth community."""
+        return np.asarray(sorted(self._node_communities), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Sequence[int], name: Optional[str] = None) -> "Graph":
+        """Subgraph induced by ``nodes``; communities are restricted and
+        relabelled into the local id space.
+
+        Node ``i`` of the result corresponds to ``nodes[i]`` of this graph
+        (also recorded in ``parent_nodes``).
+        """
+        node_list = np.asarray(list(dict.fromkeys(int(v) for v in nodes)), dtype=np.int64)
+        if node_list.size == 0:
+            raise ValueError("cannot induce an empty subgraph")
+        local_of = {int(v): i for i, v in enumerate(node_list)}
+        node_set = set(local_of)
+
+        kept_edges = []
+        for u in node_list:
+            for w in self.neighbors(int(u)):
+                if int(w) in node_set and int(u) < int(w):
+                    kept_edges.append((local_of[int(u)], local_of[int(w)]))
+        edges = np.asarray(kept_edges, dtype=np.int64).reshape(-1, 2)
+
+        attributes = None
+        if self.attributes is not None:
+            attributes = self.attributes[node_list]
+
+        local_communities = []
+        for community in self.communities:
+            restricted = [local_of[v] for v in community if v in node_set]
+            if restricted:
+                local_communities.append(restricted)
+
+        parent = node_list if self.parent_nodes is None else self.parent_nodes[node_list]
+        return Graph(
+            num_nodes=len(node_list),
+            edges=edges,
+            attributes=attributes,
+            communities=local_communities,
+            name=name or f"{self.name}[sub{len(node_list)}]",
+            parent_nodes=parent,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return (f"Graph(name={self.name!r}, n={self.num_nodes}, m={self.num_edges}, "
+                f"attrs={self.num_attributes}, communities={self.num_communities})")

@@ -1,0 +1,222 @@
+"""Functional neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+These are the free-standing differentiable ops that the GNN layers and
+meta-learning models compose: activations, (log-)softmax, dropout, concat /
+stack, segment (per-group) softmax for graph-attention edge normalisation,
+and scatter-add message passing.
+
+All functions are pure: they build autograd graph nodes and never mutate
+their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "concat",
+    "stack",
+    "gather_rows",
+    "scatter_add",
+    "segment_softmax",
+    "segment_sum",
+    "segment_mean",
+    "pairwise_inner_product",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """LeakyReLU with the GAT-default slope of 0.2."""
+    x = as_tensor(x)
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        scale = np.where(x.data > 0, 1.0, negative_slope)
+        Tensor._accumulate(x, grad * scale)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit, used after GAT attention layers."""
+    x = as_tensor(x)
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(x.data > 0, x.data, exp_part)
+
+    def backward(grad: np.ndarray) -> None:
+        scale = np.where(x.data > 0, 1.0, exp_part + alpha)
+        Tensor._accumulate(x, grad * scale)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)``.
+
+    Parameters
+    ----------
+    x:
+        Input activations.
+    p:
+        Drop probability in ``[0, 1)``.
+    rng:
+        Numpy random generator; callers own the seed so runs are
+        reproducible.
+    training:
+        When false (evaluation mode) this is the identity.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = as_tensor(x)
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            Tensor._accumulate(tensor, grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            Tensor._accumulate(tensor, piece)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``x`` along axis 0; alias of :meth:`Tensor.take_rows`."""
+    return as_tensor(x).take_rows(indices)
+
+
+def scatter_add(source: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Sum rows of ``source`` into an output of ``num_rows`` rows.
+
+    ``out[index[i]] += source[i]``.  This is the dual of
+    :func:`gather_rows` and the workhorse of edge-list message passing: with
+    ``source`` holding per-edge messages and ``index`` the destination node
+    of each edge, the result is each node's aggregated message.
+    """
+    source = as_tensor(source)
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1 or index.shape[0] != source.shape[0]:
+        raise ValueError("index must be 1-D with one entry per source row")
+    out_shape = (num_rows,) + source.data.shape[1:]
+    out_data = np.zeros(out_shape, dtype=source.data.dtype)
+    np.add.at(out_data, index, source.data)
+
+    def backward(grad: np.ndarray) -> None:
+        Tensor._accumulate(source, grad[index])
+
+    return Tensor._make(out_data, (source,), backward)
+
+
+def segment_sum(values: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment sum of a 1-D or 2-D tensor (thin wrapper on scatter_add)."""
+    values = as_tensor(values)
+    if values.ndim == 1:
+        return scatter_add(values.reshape(-1, 1), segments, num_segments).reshape(num_segments)
+    return scatter_add(values, segments, num_segments)
+
+
+def segment_mean(values: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment mean; empty segments yield zeros."""
+    segments = np.asarray(segments, dtype=np.int64)
+    counts = np.bincount(segments, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(values, segments, num_segments)
+    if summed.ndim == 1:
+        return summed * Tensor(1.0 / counts)
+    return summed * Tensor((1.0 / counts)[:, None])
+
+
+def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``scores`` normalised within each segment.
+
+    Used by the GAT convolution: ``scores`` are per-edge attention logits
+    and ``segments`` the destination node of each edge, so attention
+    coefficients sum to one over each node's incoming edges.  The per-segment
+    max subtraction is treated as a constant, the standard stable-softmax
+    convention.
+    """
+    scores = as_tensor(scores)
+    segments = np.asarray(segments, dtype=np.int64)
+    if scores.ndim != 1:
+        raise ValueError("segment_softmax expects 1-D scores (one per edge)")
+    # Per-segment max (constant w.r.t. autograd).
+    seg_max = np.full(num_segments, -np.inf, dtype=scores.data.dtype)
+    np.maximum.at(seg_max, segments, scores.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    shifted = scores - Tensor(seg_max[segments])
+    exp = shifted.exp()
+    denom = segment_sum(exp, segments, num_segments)
+    denom_safe = denom + 1e-16
+    return exp / denom_safe.take_rows(segments)
+
+
+def pairwise_inner_product(queries: Tensor, keys: Tensor) -> Tensor:
+    """Inner products between each query row and every key row.
+
+    Returns a ``(num_queries, num_keys)`` tensor — the similarity matrix the
+    CGNP inner-product decoder thresholds into community membership.
+    """
+    queries = as_tensor(queries)
+    keys = as_tensor(keys)
+    return queries.matmul(keys.T)

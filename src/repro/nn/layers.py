@@ -1,0 +1,134 @@
+"""Dense building-block layers: Linear, Dropout, MLP, Sequential.
+
+These back the CGNP MLP decoder, the attention projections of the
+self-attention commutative operation, and the output heads of the baseline
+GNN models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "Dropout", "MLP", "Sequential", "Identity"]
+
+Activation = Callable[[Tensor], Tensor]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    rng:
+        Generator used for Glorot initialisation.
+    bias:
+        Whether to learn an additive bias (default true).
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"Linear({self.in_features} -> {self.out_features})"
+
+
+class Dropout(Module):
+    """Inverted dropout module; identity in eval mode.
+
+    The generator is owned by the module so that a model seeded once is
+    deterministic end-to-end.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class Identity(Module):
+    """No-op module, convenient as a placeholder head."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(list(modules))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths including input and output, e.g. ``[128, 512, 128]``
+    rng:
+        Generator for weight initialisation.
+    dropout:
+        Optional dropout probability applied after each hidden activation.
+    activate_final:
+        Whether to apply the activation after the last linear layer.
+    """
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator,
+                 dropout: float = 0.0, activate_final: bool = False,
+                 activation: Activation = F.relu):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        self.dims = list(dims)
+        self.activation = activation
+        self.activate_final = activate_final
+        self.linears = ModuleList(
+            [Linear(d_in, d_out, rng) for d_in, d_out in zip(dims[:-1], dims[1:])]
+        )
+        self.dropouts = ModuleList(
+            [Dropout(dropout, rng) for _ in range(len(dims) - 1)]
+        ) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.linears) - 1
+        for index, linear in enumerate(self.linears):
+            x = linear(x)
+            if index < last or self.activate_final:
+                x = self.activation(x)
+                if self.dropouts is not None:
+                    x = self.dropouts[index](x)
+        return x

@@ -1,0 +1,94 @@
+"""Loss functions.
+
+The paper's training objective (Eq. 3 / Eq. 19) is binary cross-entropy on
+the positive/negative ground-truth samples of each query node.  We expose
+both a probability-space BCE (used after an explicit sigmoid, as in Eq. 17)
+and a numerically-stable logit-space version.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["bce_loss", "bce_with_logits", "masked_bce_with_logits", "mse_loss"]
+
+_EPS = 1e-12
+
+
+def bce_loss(probabilities: Tensor, targets: np.ndarray,
+             weights: Optional[np.ndarray] = None, reduction: str = "sum") -> Tensor:
+    """Binary cross-entropy on probabilities in ``(0, 1)``.
+
+    Parameters
+    ----------
+    probabilities:
+        Predicted membership probabilities.
+    targets:
+        Array of the same shape with entries in {0, 1}.
+    weights:
+        Optional per-element weights (e.g. to balance classes).
+    reduction:
+        ``"sum"`` (paper's Eq. 3 sums over samples), ``"mean"`` or ``"none"``.
+    """
+    probabilities = as_tensor(probabilities)
+    targets = np.asarray(targets, dtype=np.float64)
+    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    per_element = -(Tensor(targets) * clipped.log()
+                    + Tensor(1.0 - targets) * (1.0 - clipped).log())
+    if weights is not None:
+        per_element = per_element * Tensor(np.asarray(weights, dtype=np.float64))
+    return _reduce(per_element, reduction)
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray,
+                    weights: Optional[np.ndarray] = None,
+                    reduction: str = "sum") -> Tensor:
+    """Numerically-stable BCE from raw logits.
+
+    Uses the identity ``max(x, 0) - x*t + log(1 + exp(-|x|))`` so neither
+    branch exponentiates a large positive number.
+    """
+    logits = as_tensor(logits)
+    targets_arr = np.asarray(targets, dtype=np.float64)
+    x = logits
+    # max(x, 0) implemented differentiably as relu(x).
+    positive_part = x.relu()
+    linear_part = x * Tensor(targets_arr)
+    softplus = (Tensor(np.ones_like(x.data)) + (-(x.abs())).exp()).log()
+    per_element = positive_part - linear_part + softplus
+    if weights is not None:
+        per_element = per_element * Tensor(np.asarray(weights, dtype=np.float64))
+    return _reduce(per_element, reduction)
+
+
+def masked_bce_with_logits(logits: Tensor, targets: np.ndarray,
+                           mask: np.ndarray, reduction: str = "sum") -> Tensor:
+    """BCE restricted to labelled entries.
+
+    CS tasks only supervise the sampled positive/negative nodes of each
+    query; all other nodes carry no loss.  ``mask`` is 1 for labelled
+    entries, 0 elsewhere.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    return bce_with_logits(logits, targets, weights=mask, reduction=reduction)
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Mean-squared error (used in autograd sanity tests)."""
+    predictions = as_tensor(predictions)
+    diff = predictions - Tensor(np.asarray(targets, dtype=np.float64))
+    return _reduce(diff * diff, reduction)
+
+
+def _reduce(values: Tensor, reduction: str) -> Tensor:
+    if reduction == "sum":
+        return values.sum()
+    if reduction == "mean":
+        return values.mean()
+    if reduction == "none":
+        return values
+    raise ValueError(f"unknown reduction {reduction!r}")

@@ -1,0 +1,36 @@
+"""Model checkpointing: save/load ``Module`` state dicts as ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module", "save_state", "load_state"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (npz).  Keys may contain dots."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Persist a module's parameters."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Restore parameters into ``module`` in place and return it."""
+    module.load_state_dict(load_state(path))
+    return module

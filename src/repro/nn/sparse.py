@@ -1,0 +1,65 @@
+"""Sparse-dense products for graph message passing.
+
+GNN convolutions multiply a (constant) sparse adjacency-like matrix with a
+dense, differentiable feature matrix.  The adjacency operator itself is never
+learned, so its gradient is not tracked; the VJP w.r.t. the dense operand is
+``Aᵀ @ grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["spmm", "normalized_adjacency", "row_normalized_adjacency"]
+
+
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Sparse @ dense product, differentiable in the dense operand.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix of shape ``(m, n)``; treated as a constant.
+    dense:
+        Dense tensor of shape ``(n, d)`` (or ``(n,)``).
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("spmm expects a scipy sparse matrix as the left operand")
+    dense = as_tensor(dense)
+    csr = matrix.tocsr()
+    out_data = csr @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        Tensor._accumulate(dense, csr.T @ grad)
+
+    return Tensor._make(np.asarray(out_data), (dense,), backward)
+
+
+def normalized_adjacency(adjacency: sp.spmatrix, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Isolated nodes (degree zero after optional self-loops) receive zero rows
+    rather than NaNs.
+    """
+    adj = sp.csr_matrix(adjacency, dtype=np.float64)
+    if add_self_loops:
+        adj = adj + sp.eye(adj.shape[0], format="csr")
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    d_inv_sqrt = sp.diags(inv_sqrt)
+    return (d_inv_sqrt @ adj @ d_inv_sqrt).tocsr()
+
+
+def row_normalized_adjacency(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Row-stochastic ``D^{-1} A`` — the GraphSAGE mean aggregator operator."""
+    adj = sp.csr_matrix(adjacency, dtype=np.float64)
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    return (sp.diags(inv) @ adj).tocsr()

@@ -1,0 +1,32 @@
+"""``repro.tasks`` — CS task abstraction, samplers and the four scenarios."""
+
+from .persistence import load_task_set, save_task_set
+from .sampling import TaskSampler, eligible_queries, sample_query_example
+from .scenarios import (
+    SCENARIOS,
+    ScenarioConfig,
+    make_mgdd_tasks,
+    make_mgod_tasks,
+    make_scenario,
+    make_sgdc_tasks,
+    make_sgsc_tasks,
+)
+from .task import QueryExample, Task, TaskSet
+
+__all__ = [
+    "QueryExample",
+    "Task",
+    "TaskSet",
+    "TaskSampler",
+    "eligible_queries",
+    "sample_query_example",
+    "ScenarioConfig",
+    "make_sgsc_tasks",
+    "make_sgdc_tasks",
+    "make_mgod_tasks",
+    "make_mgdd_tasks",
+    "make_scenario",
+    "SCENARIOS",
+    "save_task_set",
+    "load_task_set",
+]

@@ -1,0 +1,123 @@
+"""Task-set persistence.
+
+Sampled task sets define an experiment; persisting them makes runs exactly
+replayable and lets the heavy sampling (BFS + structural features on large
+graphs) be paid once.  A :class:`~repro.tasks.task.TaskSet` round-trips
+through a single ``.npz`` archive: every task's graph (edges, attributes,
+communities), its examples and its feature configuration are stored under
+namespaced keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+import numpy as np
+
+from ..graph import Graph
+from .task import QueryExample, Task, TaskSet
+
+__all__ = ["save_task_set", "load_task_set"]
+
+_SPLITS = ("train", "valid", "test")
+
+
+def _pack_task(task: Task, prefix: str, store: Dict[str, np.ndarray],
+               manifest: Dict) -> None:
+    graph = task.graph
+    store[f"{prefix}/edges"] = graph.edges
+    if graph.attributes is not None:
+        store[f"{prefix}/attributes"] = graph.attributes
+    if graph.parent_nodes is not None:
+        store[f"{prefix}/parent_nodes"] = graph.parent_nodes
+    for c_index, community in enumerate(graph.communities):
+        store[f"{prefix}/community/{c_index}"] = np.asarray(sorted(community),
+                                                            dtype=np.int64)
+    for kind, examples in (("support", task.support), ("query", task.queries)):
+        for e_index, example in enumerate(examples):
+            base = f"{prefix}/{kind}/{e_index}"
+            store[f"{base}/positives"] = example.positives
+            store[f"{base}/negatives"] = example.negatives
+            store[f"{base}/membership"] = example.membership
+            store[f"{base}/query"] = np.asarray([example.query], dtype=np.int64)
+    manifest[prefix] = {
+        "name": task.name,
+        "num_nodes": graph.num_nodes,
+        "graph_name": graph.name,
+        "num_communities": graph.num_communities,
+        "num_support": len(task.support),
+        "num_query": len(task.queries),
+        "use_attributes": task.use_attributes,
+        "use_structural": task.use_structural,
+    }
+
+
+def _unpack_task(prefix: str, archive, entry: Dict) -> Task:
+    def get(key: str):
+        full = f"{prefix}/{key}"
+        return archive[full] if full in archive.files else None
+
+    communities = []
+    for c_index in range(entry["num_communities"]):
+        communities.append(archive[f"{prefix}/community/{c_index}"].tolist())
+    graph = Graph(
+        num_nodes=entry["num_nodes"],
+        edges=archive[f"{prefix}/edges"],
+        attributes=get("attributes"),
+        communities=communities,
+        name=entry["graph_name"],
+        parent_nodes=get("parent_nodes"),
+    )
+
+    def examples(kind: str, count: int) -> List[QueryExample]:
+        out = []
+        for e_index in range(count):
+            base = f"{prefix}/{kind}/{e_index}"
+            out.append(QueryExample(
+                query=int(archive[f"{base}/query"][0]),
+                positives=archive[f"{base}/positives"],
+                negatives=archive[f"{base}/negatives"],
+                membership=archive[f"{base}/membership"],
+            ))
+        return out
+
+    return Task(graph,
+                support=examples("support", entry["num_support"]),
+                queries=examples("query", entry["num_query"]),
+                name=entry["name"],
+                use_attributes=bool(entry["use_attributes"]),
+                use_structural=bool(entry["use_structural"]))
+
+
+def save_task_set(task_set: TaskSet, path: str) -> None:
+    """Write ``task_set`` to a single ``.npz`` archive at ``path``."""
+    store: Dict[str, np.ndarray] = {}
+    manifest: Dict = {"name": task_set.name, "tasks": {}}
+    for split in _SPLITS:
+        tasks = getattr(task_set, split)
+        manifest["counts_" + split] = len(tasks)
+        for index, task in enumerate(tasks):
+            _pack_task(task, f"{split}/{index}", store, manifest["tasks"])
+    store["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **store)
+
+
+def load_task_set(path: str) -> TaskSet:
+    """Read a task set previously written by :func:`save_task_set`."""
+    with np.load(path) as archive:
+        manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+        splits: Dict[str, List[Task]] = {}
+        for split in _SPLITS:
+            tasks = []
+            for index in range(manifest[f"counts_{split}"]):
+                prefix = f"{split}/{index}"
+                tasks.append(_unpack_task(prefix, archive,
+                                          manifest["tasks"][prefix]))
+            splits[split] = tasks
+    return TaskSet(name=manifest["name"], train=splits["train"],
+                   valid=splits["valid"], test=splits["test"])

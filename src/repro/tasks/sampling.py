@@ -1,0 +1,220 @@
+"""Samplers that turn data graphs into CS tasks.
+
+The paper's protocol (section VII-A):
+
+* a task graph is a ~200-node BFS sample of the data graph;
+* 1 or 5 query nodes form the support set, 30 more form the query set;
+* each query carries 5 random positive samples from its community and 10
+  negative samples from the rest of the task graph;
+* for the ground-truth-volume experiment (Fig. 5) the positive/negative
+  counts are instead a percentage of the task-graph size.
+
+Scenario constraints (shared vs disjoint communities) are expressed through
+an ``allowed_communities`` filter on the *data-graph* community ids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..graph import Graph, bfs_sample
+from .task import QueryExample, Task
+
+__all__ = ["TaskSampler", "sample_query_example", "eligible_queries"]
+
+
+def eligible_queries(graph: Graph, min_positive: int,
+                     allowed_communities: Optional[Set[int]] = None) -> List[int]:
+    """Nodes usable as queries in ``graph``.
+
+    A node qualifies if it belongs to a ground-truth community with at
+    least ``min_positive`` *other* members in the graph, and (optionally)
+    if at least one of its communities is in ``allowed_communities``.
+    """
+    result = []
+    for node in graph.nodes_with_ground_truth():
+        node = int(node)
+        memberships = graph.communities_of(node)
+        if allowed_communities is not None:
+            memberships = [c for c in memberships if c in allowed_communities]
+            if not memberships:
+                continue
+        community = set()
+        for index in memberships:
+            community |= set(graph.community_members(index))
+        if len(community) - 1 >= min_positive:
+            result.append(node)
+    return result
+
+
+def sample_query_example(graph: Graph, query: int, num_positive: int,
+                         num_negative: int, rng: np.random.Generator,
+                         restrict_to: Optional[Set[int]] = None) -> QueryExample:
+    """Draw the partial ground truth ``l_q = (l⁺_q, l⁻_q)`` for ``query``.
+
+    Parameters
+    ----------
+    graph:
+        Task graph.
+    query:
+        Query node (must belong to a ground-truth community).
+    num_positive, num_negative:
+        Sample counts; silently capped by availability.
+    rng:
+        Seeded generator.
+    restrict_to:
+        Optional community-id filter (data-graph scenarios pass the local
+        ids of allowed communities).
+    """
+    memberships = graph.communities_of(query)
+    if restrict_to is not None:
+        memberships = [c for c in memberships if c in restrict_to]
+    if not memberships:
+        raise ValueError(f"node {query} has no (allowed) ground-truth community")
+    community: Set[int] = set()
+    for index in memberships:
+        community |= set(graph.community_members(index))
+
+    membership_mask = np.zeros(graph.num_nodes, dtype=bool)
+    membership_mask[sorted(community)] = True
+
+    positive_pool = np.asarray(sorted(community - {query}), dtype=np.int64)
+    negative_pool = np.asarray(
+        sorted(set(range(graph.num_nodes)) - community), dtype=np.int64)
+    if positive_pool.size == 0:
+        raise ValueError(f"community of node {query} has no other members")
+    if negative_pool.size == 0:
+        raise ValueError(f"community of node {query} spans the whole graph")
+
+    k_pos = min(num_positive, positive_pool.size)
+    k_neg = min(num_negative, negative_pool.size)
+    positives = rng.choice(positive_pool, size=k_pos, replace=False)
+    negatives = rng.choice(negative_pool, size=k_neg, replace=False)
+    return QueryExample(query=int(query), positives=positives,
+                        negatives=negatives, membership=membership_mask)
+
+
+class TaskSampler:
+    """Samples CS tasks from a data graph under scenario constraints.
+
+    Parameters
+    ----------
+    data_graph:
+        The large graph 𝒢 tasks are drawn from.
+    subgraph_nodes:
+        BFS sample size (paper: 200).  ``None`` uses the whole graph
+        (the Facebook/MGOD setting, where each ego net *is* the task graph).
+    num_support, num_query:
+        Shots and held-out queries per task (paper: 5 and 30).
+    num_positive, num_negative:
+        Labels per query (paper: 5 and 10).  Mutually exclusive with the
+        fraction variants below.
+    positive_fraction, negative_fraction:
+        When set, label counts are these fractions of the task-graph size
+        (the Fig. 5 protocol).
+    allowed_communities:
+        Data-graph community ids queries may come from (scenario filter).
+    """
+
+    def __init__(self, data_graph: Graph, subgraph_nodes: Optional[int] = 200,
+                 num_support: int = 5, num_query: int = 30,
+                 num_positive: int = 5, num_negative: int = 10,
+                 positive_fraction: Optional[float] = None,
+                 negative_fraction: Optional[float] = None,
+                 allowed_communities: Optional[Set[int]] = None):
+        if num_support < 1:
+            raise ValueError("tasks need at least one support query")
+        self.data_graph = data_graph
+        self.subgraph_nodes = subgraph_nodes
+        self.num_support = num_support
+        self.num_query = num_query
+        self.num_positive = num_positive
+        self.num_negative = num_negative
+        self.positive_fraction = positive_fraction
+        self.negative_fraction = negative_fraction
+        self.allowed_communities = allowed_communities
+
+    # ------------------------------------------------------------------
+    def _label_counts(self, graph: Graph) -> Tuple[int, int]:
+        if self.positive_fraction is not None:
+            num_positive = max(1, int(round(self.positive_fraction * graph.num_nodes)))
+        else:
+            num_positive = self.num_positive
+        if self.negative_fraction is not None:
+            num_negative = max(1, int(round(self.negative_fraction * graph.num_nodes)))
+        else:
+            num_negative = self.num_negative
+        return num_positive, num_negative
+
+    def _local_allowed(self, subgraph: Graph) -> Optional[Set[int]]:
+        """Translate data-graph community constraints into local community
+        ids of ``subgraph`` (communities keep only a local restriction, so
+        match them by member overlap through parent ids)."""
+        if self.allowed_communities is None:
+            return None
+        allowed_parent_nodes: Set[int] = set()
+        for index in self.allowed_communities:
+            allowed_parent_nodes |= set(
+                int(v) for v in self.data_graph.community_members(index))
+        local_allowed: Set[int] = set()
+        parents = subgraph.parent_nodes
+        for local_index, members in enumerate(subgraph.communities):
+            sample = next(iter(members))
+            parent = int(parents[sample]) if parents is not None else sample
+            if parent in allowed_parent_nodes:
+                local_allowed.add(local_index)
+        return local_allowed
+
+    def _sample_task_graph(self, rng: np.random.Generator) -> Graph:
+        if self.subgraph_nodes is None or self.subgraph_nodes >= self.data_graph.num_nodes:
+            return self.data_graph
+        # Seed the BFS at a node with ground truth (preferably allowed) so
+        # the sample contains community structure.
+        candidates = eligible_queries(self.data_graph, min_positive=1,
+                                      allowed_communities=self.allowed_communities)
+        if not candidates:
+            raise ValueError("data graph has no eligible query nodes")
+        source = int(rng.choice(np.asarray(candidates)))
+        nodes = bfs_sample(self.data_graph, source, self.subgraph_nodes, rng=rng)
+        return self.data_graph.induced_subgraph(nodes)
+
+    def sample_task(self, rng: np.random.Generator, name: str = "task",
+                    max_attempts: int = 25) -> Task:
+        """Sample one task; retries BFS roots until enough queries exist."""
+        last_error: Optional[Exception] = None
+        for _ in range(max_attempts):
+            try:
+                return self._sample_task_once(rng, name)
+            except ValueError as error:
+                last_error = error
+        raise RuntimeError(
+            f"failed to sample a valid task after {max_attempts} attempts: {last_error}"
+        )
+
+    def _sample_task_once(self, rng: np.random.Generator, name: str) -> Task:
+        graph = self._sample_task_graph(rng)
+        num_positive, num_negative = self._label_counts(graph)
+        local_allowed = self._local_allowed(graph)
+        candidates = eligible_queries(graph, min_positive=1,
+                                      allowed_communities=local_allowed)
+        needed = self.num_support + 1  # at least one evaluation query
+        if len(candidates) < needed:
+            raise ValueError(
+                f"subgraph has {len(candidates)} eligible queries, need {needed}")
+        rng.shuffle(candidates)
+        take = min(len(candidates), self.num_support + self.num_query)
+        chosen = candidates[:take]
+        examples = [
+            sample_query_example(graph, query, num_positive, num_negative, rng,
+                                 restrict_to=local_allowed)
+            for query in chosen
+        ]
+        return Task(graph, support=examples[:self.num_support],
+                    queries=examples[self.num_support:], name=name)
+
+    def sample_tasks(self, count: int, rng: np.random.Generator,
+                     prefix: str = "task") -> List[Task]:
+        """Sample ``count`` independent tasks."""
+        return [self.sample_task(rng, name=f"{prefix}-{i}") for i in range(count)]

@@ -1,0 +1,179 @@
+"""Community-search task abstraction.
+
+A task ``T = (G, Q, L)`` (section III of the paper) is a graph with a set
+of query nodes, each carrying *partial* ground truth: a handful of positive
+samples from the query's community and negative samples from outside it.
+Tasks are split into a **support set** (the shots a model may adapt on) and
+a **query set** (held-out queries the model is evaluated on).
+
+Evaluation additionally needs the *full* ground-truth community of each
+query inside the task graph, which the sampler records as a boolean
+membership mask — the model never sees it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Graph, node_feature_matrix
+
+__all__ = ["QueryExample", "Task", "TaskSet"]
+
+
+@dataclasses.dataclass
+class QueryExample:
+    """One query node with partial labels and full evaluation ground truth.
+
+    Attributes
+    ----------
+    query:
+        The query node (local id in the task graph).
+    positives:
+        Sampled members of the query's community, ``l⁺_q`` (excludes the
+        query itself).
+    negatives:
+        Sampled non-members, ``l⁻_q``.
+    membership:
+        Boolean mask over all task-graph nodes: the full community
+        ``C_q(G)`` (evaluation only; includes the query).
+    """
+
+    query: int
+    positives: np.ndarray
+    negatives: np.ndarray
+    membership: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positives = np.asarray(self.positives, dtype=np.int64)
+        self.negatives = np.asarray(self.negatives, dtype=np.int64)
+        self.membership = np.asarray(self.membership, dtype=bool)
+        if self.query in set(self.positives.tolist()):
+            raise ValueError("positives must not contain the query node")
+        if not self.membership[self.query]:
+            raise ValueError("query node must belong to its own community")
+        overlap = set(self.positives.tolist()) & set(self.negatives.tolist())
+        if overlap:
+            raise ValueError(f"positive/negative samples overlap: {sorted(overlap)[:3]}")
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.positives) + len(self.negatives)
+
+    def labelled_nodes(self) -> np.ndarray:
+        """All labelled nodes (positives, negatives and the query itself)."""
+        return np.concatenate([[self.query], self.positives, self.negatives])
+
+    def label_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(nodes, targets) of the supervised samples, query included as
+        a positive (it trivially belongs to its own community)."""
+        nodes = np.concatenate([[self.query], self.positives, self.negatives])
+        targets = np.concatenate([
+            np.ones(1 + len(self.positives)),
+            np.zeros(len(self.negatives)),
+        ])
+        return nodes.astype(np.int64), targets
+
+
+class Task:
+    """A CS task: a graph plus support and query examples.
+
+    Parameters
+    ----------
+    graph:
+        The task graph ``G`` (typically a 200-node BFS sample).
+    support:
+        Shot examples (with ground truth the model may use).
+    queries:
+        Held-out examples (ground truth used only for loss/evaluation).
+    name:
+        Label for reports.
+    """
+
+    def __init__(self, graph: Graph, support: Sequence[QueryExample],
+                 queries: Sequence[QueryExample], name: str = "task",
+                 use_attributes: bool = True, use_structural: bool = True):
+        if not support:
+            raise ValueError("a task needs at least one support example")
+        self.graph = graph
+        self.support: List[QueryExample] = list(support)
+        self.queries: List[QueryExample] = list(queries)
+        self.name = name
+        # Default feature configuration.  Scenario builders override it,
+        # e.g. cross-domain (MGDD) tasks disable attributes because the
+        # source and target vocabularies have different dimensionalities.
+        self.use_attributes = use_attributes
+        self.use_structural = use_structural
+        self._features: Optional[np.ndarray] = None
+        self._feature_config: Optional[Tuple[bool, bool]] = None
+
+    @property
+    def num_shots(self) -> int:
+        return len(self.support)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def features(self, use_attributes: Optional[bool] = None,
+                 use_structural: Optional[bool] = None) -> np.ndarray:
+        """Node feature matrix, computed lazily and cached per configuration.
+
+        ``None`` arguments defer to the task's default configuration.
+        """
+        if use_attributes is None:
+            use_attributes = self.use_attributes
+        if use_structural is None:
+            use_structural = self.use_structural
+        config = (use_attributes, use_structural)
+        if self._features is None or self._feature_config != config:
+            self._features = node_feature_matrix(
+                self.graph, use_attributes=use_attributes,
+                use_structural=use_structural)
+            self._feature_config = config
+        return self._features
+
+    def all_examples(self) -> List[QueryExample]:
+        return self.support + self.queries
+
+    def with_shots(self, num_shots: int) -> "Task":
+        """A view of this task truncated to the first ``num_shots`` shots.
+
+        Excess support examples are *discarded* (not moved to the query
+        set), matching how the paper compares 1-shot vs 5-shot.
+        """
+        if num_shots < 1 or num_shots > len(self.support):
+            raise ValueError(
+                f"cannot take {num_shots} shots from a task with {len(self.support)}"
+            )
+        view = Task(self.graph, self.support[:num_shots], self.queries,
+                    name=f"{self.name}@{num_shots}shot",
+                    use_attributes=self.use_attributes,
+                    use_structural=self.use_structural)
+        view._features = self._features
+        view._feature_config = self._feature_config
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return (f"Task(name={self.name!r}, n={self.graph.num_nodes}, "
+                f"shots={len(self.support)}, queries={len(self.queries)})")
+
+
+@dataclasses.dataclass
+class TaskSet:
+    """Train/validation/test task collections for one scenario."""
+
+    name: str
+    train: List[Task]
+    valid: List[Task]
+    test: List[Task]
+
+    def __post_init__(self) -> None:
+        if not self.train or not self.test:
+            raise ValueError("a TaskSet needs non-empty train and test splits")
+
+    def summary(self) -> str:
+        return (f"{self.name}: {len(self.train)} train / {len(self.valid)} valid / "
+                f"{len(self.test)} test tasks")

@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG streams and timing."""
+
+from .rng import derive_rng, make_rng, spawn_rngs
+from .timing import StopwatchRegistry, Timer
+
+__all__ = ["make_rng", "spawn_rngs", "derive_rng", "Timer", "StopwatchRegistry"]

@@ -1,0 +1,64 @@
+"""Wall-clock timing utilities for the efficiency experiments (Fig. 3/4)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+__all__ = ["Timer", "StopwatchRegistry"]
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class StopwatchRegistry:
+    """Accumulates named durations across repeated measurements.
+
+    Used by the experiment harness to separate meta-train time from test
+    time per method, mirroring the paper's Fig. 3(a)/(b).
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._totals[label] = self._totals.get(label, 0.0) + duration
+            self._counts[label] = self._counts.get(label, 0) + 1
+
+    def total(self, label: str) -> float:
+        return self._totals.get(label, 0.0)
+
+    def count(self, label: str) -> int:
+        return self._counts.get(label, 0)
+
+    def labels(self) -> List[str]:
+        return sorted(self._totals)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)

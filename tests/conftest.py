@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clear_cache
+from repro.graph import attributed_community_graph
+from repro.tasks import TaskSampler
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_community_graph():
+    """A 120-node attributed graph with 4 planted communities."""
+    generator = make_rng(7)
+    return attributed_community_graph(
+        num_nodes=120, num_communities=4, avg_degree=8.0, mixing=0.12,
+        num_attributes=24, rng=generator, name="fixture-graph")
+
+
+@pytest.fixture(scope="session")
+def tiny_tasks(small_community_graph):
+    """Four train + two test tasks on the fixture graph (2-shot)."""
+    generator = make_rng(99)
+    sampler = TaskSampler(small_community_graph, subgraph_nodes=60,
+                          num_support=2, num_query=4,
+                          num_positive=4, num_negative=8)
+    train = sampler.sample_tasks(4, generator, prefix="train")
+    test = sampler.sample_tasks(2, generator, prefix="test")
+    return train, test
+
+
+@pytest.fixture(autouse=True)
+def _clear_dataset_cache():
+    """Keep dataset memory bounded across tests."""
+    yield
+    clear_cache()

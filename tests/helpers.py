@@ -1,0 +1,84 @@
+"""Shared test utilities: finite-difference gradient checking and tiny
+fixture graphs."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.graph import Graph
+from repro.nn import Tensor
+
+
+def numeric_gradient(func: Callable[[np.ndarray], float], x: np.ndarray,
+                     epsilon: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        f_plus = func(x)
+        flat[i] = original - epsilon
+        f_minus = func(x)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * epsilon)
+    return grad
+
+
+def gradcheck(op: Callable[[Tensor], Tensor], x: np.ndarray,
+              atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Assert that autograd matches finite differences for ``op``.
+
+    ``op`` maps a tensor to a tensor of any shape; the check backpropagates
+    the sum of the output (a scalar), which exercises the full VJP.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    def scalar(value: np.ndarray) -> float:
+        return float(op(Tensor(value)).data.sum())
+
+    tensor = Tensor(x.copy(), requires_grad=True)
+    output = op(tensor)
+    output.backward(np.ones_like(output.data))
+    analytic = tensor.grad
+    numeric = numeric_gradient(scalar, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def gradcheck_multi(op: Callable[..., Tensor], *arrays: np.ndarray,
+                    atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Gradient-check an op of several tensor arguments, one at a time."""
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    for index in range(len(arrays)):
+        def single(value: np.ndarray, _index: int = index) -> Tensor:
+            args = [Tensor(a) for a in arrays]
+            args[_index] = value if isinstance(value, Tensor) else Tensor(value)
+            return op(*args)
+
+        gradcheck(single, arrays[index], atol=atol, rtol=rtol)
+
+
+def triangle_graph() -> Graph:
+    """K3 — the smallest graph with a triangle."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+def two_cliques_graph(clique_size: int = 5) -> Graph:
+    """Two cliques joined by a single bridge edge; communities = cliques."""
+    k = clique_size
+    edges = []
+    for block in (0, 1):
+        offset = block * k
+        for i in range(k):
+            for j in range(i + 1, k):
+                edges.append((offset + i, offset + j))
+    edges.append((k - 1, k))  # bridge
+    communities = [list(range(k)), list(range(k, 2 * k))]
+    return Graph(2 * k, edges, communities=communities, name="two-cliques")
+
+
+def path_graph(n: int = 6) -> Graph:
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], name=f"path{n}")

@@ -1,0 +1,266 @@
+"""Tests for the learned baselines: each runs end-to-end on tiny tasks and
+honours its documented contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AQDGNN,
+    AQDGNNConfig,
+    CGNPMethod,
+    FeatTransConfig,
+    FeatureTransfer,
+    GPN,
+    GPNConfig,
+    ICSGNN,
+    ICSGNNConfig,
+    MAML,
+    MAMLConfig,
+    Reptile,
+    ReptileConfig,
+    SupervisedConfig,
+    SupervisedGNN,
+    grow_community_by_scores,
+    make_cgnp_variant,
+    threshold_prediction,
+)
+from repro.core import CGNPConfig, MetaTrainConfig
+from repro.tasks import TaskSet
+from repro.utils import make_rng
+
+from helpers import two_cliques_graph
+
+
+TINY = dict(hidden_dim=8, num_layers=2, conv="gcn", dropout=0.0)
+
+
+def _check_predictions(predictions, task):
+    assert len(predictions) == len(task.queries)
+    for prediction in predictions:
+        assert prediction.query in prediction.members
+        assert prediction.probabilities.shape == (task.graph.num_nodes,)
+        assert np.all((prediction.probabilities >= 0)
+                      & (prediction.probabilities <= 1))
+        assert prediction.ground_truth.dtype == bool
+
+
+class TestThresholdPrediction:
+    def test_query_always_member(self):
+        probabilities = np.zeros(5)
+        ground_truth = np.zeros(5, dtype=bool)
+        ground_truth[2] = True
+        prediction = threshold_prediction(probabilities, 2, ground_truth)
+        assert 2 in prediction.members
+
+    def test_threshold_respected(self):
+        probabilities = np.array([0.9, 0.4, 0.6])
+        ground_truth = np.array([True, False, False])
+        prediction = threshold_prediction(probabilities, 0, ground_truth,
+                                          threshold=0.5)
+        assert set(prediction.members.tolist()) == {0, 2}
+
+
+class TestSupervised:
+    def test_end_to_end(self, tiny_tasks):
+        train, test = tiny_tasks
+        method = SupervisedGNN(SupervisedConfig(train_steps=10, **TINY))
+        method.meta_fit(train)  # no-op
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+    def test_no_meta_stage(self):
+        assert not SupervisedGNN.trains_meta
+
+    def test_learns_the_support_queries(self, tiny_tasks):
+        """After enough steps the model must fit its own support labels."""
+        train, _ = tiny_tasks
+        task = train[0]
+        method = SupervisedGNN(SupervisedConfig(train_steps=150,
+                                                learning_rate=5e-3, **TINY))
+        # Evaluate on the support example itself via a task whose query set
+        # is the support set.
+        from repro.tasks import Task
+        inverted = Task(task.graph, task.support, task.support, name="fit")
+        predictions = method.predict_task(inverted)
+        for prediction, example in zip(predictions, task.support):
+            predicted = set(prediction.members.tolist())
+            positives = set(example.positives.tolist())
+            # Most labelled positives should be recovered.
+            assert len(predicted & positives) >= len(positives) // 2
+
+
+class TestFeatTrans:
+    def test_requires_meta_fit(self, tiny_tasks):
+        _, test = tiny_tasks
+        method = FeatureTransfer(FeatTransConfig(pretrain_epochs=2, **TINY))
+        with pytest.raises(RuntimeError):
+            method.predict_task(test[0])
+
+    def test_end_to_end(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        method = FeatureTransfer(FeatTransConfig(pretrain_epochs=3,
+                                                 finetune_steps=1, **TINY))
+        method.meta_fit(train, rng=rng)
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+    def test_finetune_only_touches_head(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        method = FeatureTransfer(FeatTransConfig(pretrain_epochs=2,
+                                                 finetune_steps=3, **TINY))
+        method.meta_fit(train, rng=rng)
+        before = method._model.state_dict()
+        method.predict_task(test[0])
+        after = method._model.state_dict()
+        # The meta model itself must be untouched by per-task fine-tuning.
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+
+class TestMAML:
+    def test_end_to_end(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        method = MAML(MAMLConfig(epochs=2, inner_steps_train=2,
+                                 inner_steps_test=3, **TINY))
+        method.meta_fit(train, rng=rng)
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+    def test_requires_meta_fit(self, tiny_tasks):
+        _, test = tiny_tasks
+        with pytest.raises(RuntimeError):
+            MAML(MAMLConfig(**TINY)).predict_task(test[0])
+
+    def test_meta_parameters_move(self, tiny_tasks, rng):
+        train, _ = tiny_tasks
+        method = MAML(MAMLConfig(epochs=1, inner_steps_train=2, **TINY))
+        method.meta_fit(train, rng=rng)
+        first = {k: v.copy() for k, v in method._model.state_dict().items()}
+        method.meta_fit(train, rng=make_rng(1))
+        moved = any(not np.allclose(first[k], v)
+                    for k, v in method._model.state_dict().items())
+        assert moved
+
+
+class TestReptile:
+    def test_end_to_end(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        method = Reptile(ReptileConfig(epochs=2, inner_steps_train=2,
+                                       inner_steps_test=3, **TINY))
+        method.meta_fit(train, rng=rng)
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+    def test_outer_update_is_parameter_interpolation(self, tiny_tasks, rng):
+        """After one epoch, θ* must differ from θ0 (tasks pull it)."""
+        train, _ = tiny_tasks
+        method = Reptile(ReptileConfig(epochs=1, inner_steps_train=3,
+                                       outer_lr=1.0, **TINY))
+        method.meta_fit(train, rng=rng)
+        # With outer_lr=1, θ* is exactly the mean of adapted parameters —
+        # sanity: finite and different from init.
+        for value in method._model.state_dict().values():
+            assert np.all(np.isfinite(value))
+
+
+class TestGPN:
+    def test_end_to_end(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        method = GPN(GPNConfig(epochs=3, proto_samples=2, **TINY))
+        method.meta_fit(train, rng=rng)
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+    def test_requires_meta_fit(self, tiny_tasks):
+        _, test = tiny_tasks
+        with pytest.raises(RuntimeError):
+            GPN(GPNConfig(**TINY)).predict_task(test[0])
+
+    def test_uses_test_ground_truth(self, tiny_tasks, rng):
+        """GPN needs labelled samples for test queries — documenting the
+        limitation the paper highlights."""
+        train, test = tiny_tasks
+        method = GPN(GPNConfig(epochs=1, proto_samples=2, **TINY))
+        method.meta_fit(train, rng=rng)
+        task = test[0]
+        # Strip the labels from one query example.
+        from repro.tasks import QueryExample, Task
+        stripped = []
+        for example in task.queries:
+            membership = example.membership.copy()
+            stripped.append(QueryExample(
+                query=example.query, positives=np.array([], dtype=np.int64),
+                negatives=np.array([], dtype=np.int64), membership=membership))
+        bare_task = Task(task.graph, task.support, stripped)
+        with pytest.raises(ValueError):
+            method.predict_task(bare_task)
+
+
+class TestICSGNN:
+    def test_end_to_end(self, tiny_tasks):
+        _, test = tiny_tasks
+        method = ICSGNN(ICSGNNConfig(train_steps=5, community_size=10))
+        method.meta_fit([])  # no-op
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+    def test_community_size_budget(self, tiny_tasks):
+        _, test = tiny_tasks
+        budget = 7
+        method = ICSGNN(ICSGNNConfig(train_steps=3, community_size=budget))
+        for prediction in method.predict_task(test[0]):
+            assert len(prediction.members) <= budget
+
+    def test_grow_community_connected(self, tiny_tasks, rng):
+        _, test = tiny_tasks
+        task = test[0]
+        scores = rng.random(task.graph.num_nodes)
+        community = grow_community_by_scores(task, 0, scores, budget=8)
+        # Every member is reachable within the community from the query.
+        sub = task.graph.induced_subgraph(sorted(community))
+        from repro.graph import connected_components
+        assert len(connected_components(sub)) == 1
+
+    def test_grow_prefers_high_scores(self):
+        g = two_cliques_graph(5)
+        from repro.tasks import Task, QueryExample
+        membership = np.zeros(10, dtype=bool)
+        membership[:5] = True
+        example = QueryExample(0, np.array([1]), np.array([6]), membership)
+        task = Task(g, [example], [example])
+        scores = np.zeros(10)
+        scores[:5] = 1.0  # first clique scores high
+        community = grow_community_by_scores(task, 0, scores, budget=5)
+        assert community == {0, 1, 2, 3, 4}
+
+
+class TestAQDGNN:
+    def test_end_to_end(self, tiny_tasks):
+        _, test = tiny_tasks
+        method = AQDGNN(AQDGNNConfig(train_steps=5, **TINY))
+        method.meta_fit([])  # no-op
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+
+class TestCGNPMethod:
+    def test_end_to_end(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        method = CGNPMethod(CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                       dropout=0.0),
+                            MetaTrainConfig(epochs=3))
+        method.meta_fit(train, rng=rng)
+        predictions = method.predict_task(test[0])
+        _check_predictions(predictions, test[0])
+
+    def test_requires_meta_fit(self, tiny_tasks):
+        _, test = tiny_tasks
+        with pytest.raises(RuntimeError):
+            CGNPMethod().predict_task(test[0])
+
+    def test_variant_factory_names(self):
+        assert make_cgnp_variant("ip").name == "CGNP-IP"
+        assert make_cgnp_variant("mlp").name == "CGNP-MLP"
+        assert make_cgnp_variant("gnn").name == "CGNP-GNN"

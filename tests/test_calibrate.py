@@ -1,0 +1,65 @@
+"""Tests for decision-threshold calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CGNP,
+    CGNPConfig,
+    MetaTrainConfig,
+    calibrate_threshold,
+    meta_train,
+    sweep_thresholds,
+)
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def trained_model(tiny_tasks):
+    train, _ = tiny_tasks
+    rng = make_rng(3)
+    model = CGNP(train[0].features().shape[1],
+                 CGNPConfig(hidden_dim=16, num_layers=2, conv="gcn",
+                            dropout=0.0), rng)
+    meta_train(model, train, MetaTrainConfig(epochs=10, learning_rate=2e-3), rng)
+    return model
+
+
+class TestSweep:
+    def test_returns_one_entry_per_threshold(self, trained_model, tiny_tasks):
+        _, test = tiny_tasks
+        swept = sweep_thresholds(trained_model, test, [0.3, 0.5, 0.7])
+        assert [t for t, _ in swept] == [0.3, 0.5, 0.7]
+        assert all(0.0 <= f1 <= 1.0 for _, f1 in swept)
+
+    def test_empty_tasks_rejected(self, trained_model):
+        with pytest.raises(ValueError):
+            sweep_thresholds(trained_model, [], [0.5])
+
+    def test_extreme_thresholds_degenerate(self, trained_model, tiny_tasks):
+        _, test = tiny_tasks
+        swept = dict(sweep_thresholds(trained_model, test, [0.0, 1.01]))
+        # Threshold 0 predicts everything → recall 1, F1 > 0;
+        # threshold > 1 predicts only the query → F1 ~ 0.
+        assert swept[0.0] > swept[1.01]
+
+
+class TestCalibration:
+    def test_best_at_least_default(self, trained_model, tiny_tasks):
+        """Calibration can only improve (or tie) the validation F1 when 0.5
+        is in the grid."""
+        _, test = tiny_tasks
+        grid = [0.3, 0.5, 0.7]
+        best_threshold, best_f1 = calibrate_threshold(trained_model, test,
+                                                      grid=grid)
+        default_f1 = dict(sweep_thresholds(trained_model, test, [0.5]))[0.5]
+        assert best_threshold in grid
+        assert best_f1 >= default_f1 - 1e-12
+
+    def test_deterministic(self, trained_model, tiny_tasks):
+        _, test = tiny_tasks
+        a = calibrate_threshold(trained_model, test, grid=[0.4, 0.6])
+        b = calibrate_threshold(trained_model, test, grid=[0.4, 0.6])
+        assert a == b

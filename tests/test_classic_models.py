@@ -1,0 +1,153 @@
+"""Tests for the classic community models: k-clique percolation,
+k-edge-connected components and the Sozio-Gionis greedy search —
+cross-validated against networkx where it offers the same notion."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    CocktailPartySearch,
+    KCliqueCommunitySearch,
+    enumerate_k_cliques,
+    greedy_cocktail_party,
+    k_clique_communities,
+    k_edge_connected_components,
+)
+from repro.graph import Graph, planted_partition_graph, to_networkx
+from repro.utils import make_rng
+
+from helpers import path_graph, triangle_graph, two_cliques_graph
+
+
+class TestKCliqueEnumeration:
+    def test_triangle(self):
+        cliques = enumerate_k_cliques(triangle_graph(), 3)
+        assert cliques == [frozenset({0, 1, 2})]
+
+    def test_edge_cliques(self):
+        cliques = enumerate_k_cliques(path_graph(4), 2)
+        assert len(cliques) == 3  # one per edge
+
+    def test_counts_in_k5(self):
+        g = two_cliques_graph(5)
+        # Each K5 contains C(5,3) = 10 triangles.
+        assert len(enumerate_k_cliques(g, 3)) == 20
+        # C(5,4) = 5 four-cliques per K5.
+        assert len(enumerate_k_cliques(g, 4)) == 10
+
+    def test_matches_networkx_on_random_graph(self):
+        g = planted_partition_graph(60, 3, 8.0, 0.2, make_rng(1))
+        ours = {frozenset(c) for c in enumerate_k_cliques(g, 3)}
+        theirs = set()
+        for clique in nx.enumerate_all_cliques(to_networkx(g)):
+            if len(clique) == 3:
+                theirs.add(frozenset(clique))
+        assert ours == theirs
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            enumerate_k_cliques(triangle_graph(), 1)
+
+
+class TestKCliqueCommunities:
+    def test_two_cliques_distinct_communities(self):
+        g = two_cliques_graph(5)
+        communities = k_clique_communities(g, 4)
+        assert sorted(map(sorted, communities)) == [
+            list(range(5)), list(range(5, 10))]
+
+    def test_bridge_not_percolated(self):
+        # The bridge edge shares no (k-1)-subset with clique triangles.
+        g = two_cliques_graph(5)
+        communities = k_clique_communities(g, 3)
+        assert all(len(c) == 5 for c in communities)
+
+    def test_matches_networkx(self):
+        g = planted_partition_graph(50, 3, 8.0, 0.2, make_rng(2))
+        ours = {frozenset(c) for c in k_clique_communities(g, 3)}
+        theirs = {frozenset(c)
+                  for c in nx.community.k_clique_communities(to_networkx(g), 3)}
+        assert ours == theirs
+
+    def test_no_cliques_no_communities(self):
+        assert k_clique_communities(path_graph(5), 3) == []
+
+
+class TestKEdgeConnectedComponents:
+    def test_clique_is_k_minus_1_connected(self):
+        g = two_cliques_graph(5)  # K5 is 4-edge-connected
+        components = k_edge_connected_components(g, 4)
+        assert sorted(map(sorted, components)) == [
+            list(range(5)), list(range(5, 10))]
+
+    def test_bridge_breaks_2_connectivity(self):
+        g = two_cliques_graph(4)
+        components = k_edge_connected_components(g, 2)
+        assert all(len(c) == 4 for c in components)
+
+    def test_whole_graph_1_connected(self):
+        g = two_cliques_graph(3)
+        components = k_edge_connected_components(g, 1)
+        assert sorted(map(len, components), reverse=True)[0] == 6
+
+    def test_path_not_2_connected(self):
+        components = k_edge_connected_components(path_graph(5), 2)
+        assert components == []
+
+    def test_cycle_is_2_connected(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        components = k_edge_connected_components(g, 2)
+        assert sorted(map(sorted, components)) == [list(range(5))]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_edge_connected_components(triangle_graph(), 0)
+
+
+class TestCocktailParty:
+    def test_finds_dense_part(self):
+        g = two_cliques_graph(5)
+        community = greedy_cocktail_party(g, [0])
+        # The peel should settle on a high-min-degree subgraph around the
+        # query (at least its clique, possibly both since they're joined).
+        assert set(range(5)) <= community
+
+    def test_query_always_included(self):
+        g = path_graph(6)
+        community = greedy_cocktail_party(g, [3])
+        assert 3 in community
+
+    def test_max_size_respected(self):
+        g = two_cliques_graph(5)
+        community = greedy_cocktail_party(g, [0], max_size=6)
+        assert len(community) <= 6
+        assert 0 in community
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_cocktail_party(triangle_graph(), [])
+
+    def test_multi_query_connectivity_kept(self):
+        g = two_cliques_graph(5)
+        community = greedy_cocktail_party(g, [0, 9])
+        assert {0, 9} <= community
+
+
+class TestMethodWrappers:
+    def test_kclique_interface(self, tiny_tasks):
+        _, test = tiny_tasks
+        method = KCliqueCommunitySearch()
+        predictions = method.predict_task(test[0])
+        assert len(predictions) == len(test[0].queries)
+        for prediction in predictions:
+            assert prediction.query in prediction.members
+
+    def test_cocktail_interface(self, tiny_tasks):
+        _, test = tiny_tasks
+        method = CocktailPartySearch()
+        predictions = method.predict_task(test[0])
+        for prediction in predictions:
+            assert prediction.query in prediction.members

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "sgsc"
+        assert args.profile == "smoke"
+
+    def test_invalid_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "bogus"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cora", "citeseer", "arxiv", "dblp", "reddit", "facebook"):
+            assert name in out
+
+    def test_run_prints_table(self, capsys):
+        code = main(["run", "--scenario", "sgsc", "--dataset", "citeseer",
+                     "--methods", "CTC", "--profile", "smoke", "--shots", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CTC" in out
+        assert "F1" in out
+
+    def test_train_then_query_roundtrip(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.npz")
+        code = main(["train", "--dataset", "cora", "--out", model_path,
+                     "--epochs", "2", "--tasks", "3",
+                     "--subgraph-nodes", "50", "--hidden-dim", "8",
+                     "--layers", "2", "--conv", "gcn", "--scale", "0.2"])
+        assert code == 0
+        assert "saved to" in capsys.readouterr().out
+
+        code = main(["query", "--dataset", "cora", "--model", model_path,
+                     "--node", "0", "--subgraph-nodes", "50",
+                     "--hidden-dim", "8", "--layers", "2", "--conv", "gcn",
+                     "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted community" in out
+
+    def test_query_node_out_of_range(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.npz")
+        main(["train", "--dataset", "cora", "--out", model_path,
+              "--epochs", "1", "--tasks", "3", "--subgraph-nodes", "50",
+              "--hidden-dim", "8", "--layers", "2", "--conv", "gcn",
+              "--scale", "0.2"])
+        capsys.readouterr()
+        code = main(["query", "--dataset", "cora", "--model", model_path,
+                     "--node", "99999", "--subgraph-nodes", "50",
+                     "--hidden-dim", "8", "--layers", "2", "--conv", "gcn",
+                     "--scale", "0.2"])
+        assert code == 2

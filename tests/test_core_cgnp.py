@@ -1,0 +1,294 @@
+"""Tests for the CGNP model: aggregators, decoders, training and inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttentionAggregator,
+    CGNP,
+    CGNPConfig,
+    MeanAggregator,
+    MetaTrainConfig,
+    SumAggregator,
+    evaluate_loss,
+    make_aggregator,
+    make_decoder,
+    meta_test_task,
+    meta_train,
+    predict_memberships,
+    task_loss,
+)
+from repro.core.decoders import GNNDecoder, InnerProductDecoder, MLPDecoder
+from repro.nn import Tensor
+from repro.nn.serialize import load_state, save_state
+from repro.utils import make_rng
+
+from helpers import two_cliques_graph
+
+
+@pytest.fixture
+def views(rng):
+    return [Tensor(rng.normal(size=(6, 4))) for _ in range(3)]
+
+
+class TestAggregators:
+    def test_sum(self, views):
+        out = SumAggregator()(views)
+        expected = sum(v.data for v in views)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_mean(self, views):
+        out = MeanAggregator()(views)
+        expected = sum(v.data for v in views) / 3
+        np.testing.assert_allclose(out.data, expected)
+
+    @pytest.mark.parametrize("name", ["sum", "mean", "attention"])
+    def test_permutation_invariance(self, name, views, rng):
+        aggregator = make_aggregator(name, 4, rng)
+        forward = aggregator(views).data
+        permuted = aggregator([views[2], views[0], views[1]]).data
+        np.testing.assert_allclose(forward, permuted, atol=1e-10)
+
+    def test_attention_single_view_identity(self, rng):
+        aggregator = AttentionAggregator(4, rng)
+        view = Tensor(rng.normal(size=(5, 4)))
+        np.testing.assert_allclose(aggregator([view]).data, view.data)
+
+    def test_attention_output_shape(self, views, rng):
+        out = AttentionAggregator(4, rng)(views)
+        assert out.shape == (6, 4)
+
+    def test_attention_is_learnable(self, views, rng):
+        aggregator = AttentionAggregator(4, rng)
+        out = aggregator(views)
+        out.sum().backward()
+        assert aggregator.w1.grad is not None
+        assert aggregator.w2.grad is not None
+
+    def test_empty_views_rejected(self):
+        with pytest.raises(ValueError):
+            SumAggregator()([])
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SumAggregator()([Tensor(np.zeros((2, 3))), Tensor(np.zeros((3, 3)))])
+
+    def test_unknown_aggregator(self, rng):
+        with pytest.raises(ValueError):
+            make_aggregator("median", 4, rng)
+
+    def test_avg_alias(self, rng):
+        assert isinstance(make_aggregator("avg", 4, rng), MeanAggregator)
+
+
+class TestDecoders:
+    @pytest.fixture
+    def graph(self):
+        return two_cliques_graph(3)
+
+    @pytest.fixture
+    def context(self, rng, graph):
+        return Tensor(rng.normal(size=(graph.num_nodes, 4)))
+
+    def test_inner_product_values(self, graph):
+        context = Tensor(np.eye(6)[:, :4])
+        logits = InnerProductDecoder()(context, 0, graph)
+        np.testing.assert_allclose(logits.data[0], 1.0)
+        np.testing.assert_allclose(logits.data[1], 0.0)
+
+    def test_inner_product_shape(self, context, graph):
+        assert InnerProductDecoder()(context, 2, graph).shape == (6,)
+
+    def test_mlp_decoder_shape(self, context, graph, rng):
+        decoder = MLPDecoder(4, rng, hidden_dim=8)
+        assert decoder(context, 1, graph).shape == (6,)
+
+    def test_gnn_decoder_shape(self, context, graph, rng):
+        decoder = GNNDecoder(4, rng, conv="gcn")
+        assert decoder(context, 1, graph).shape == (6,)
+
+    def test_factory(self, rng):
+        assert isinstance(make_decoder("ip", 4, rng), InnerProductDecoder)
+        assert isinstance(make_decoder("mlp", 4, rng), MLPDecoder)
+        assert isinstance(make_decoder("gnn", 4, rng), GNNDecoder)
+        with pytest.raises(ValueError):
+            make_decoder("linear", 4, rng)
+
+    def test_inner_product_has_no_parameters(self):
+        assert InnerProductDecoder().num_parameters() == 0
+
+
+class TestCGNPModel:
+    @pytest.fixture
+    def model_and_task(self, tiny_tasks, rng):
+        train, _ = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=16, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        return model, train[0]
+
+    def test_encode_view_shape(self, model_and_task):
+        model, task = model_and_task
+        view = model.encode_view(task, task.support[0])
+        assert view.shape == (task.graph.num_nodes, 16)
+
+    def test_context_shape(self, model_and_task):
+        model, task = model_and_task
+        context = model.context(task)
+        assert context.shape == (task.graph.num_nodes, 16)
+
+    def test_context_requires_support(self, model_and_task):
+        model, task = model_and_task
+        with pytest.raises(ValueError):
+            model.context(task, support=[])
+
+    def test_forward_logits_shape(self, model_and_task):
+        model, task = model_and_task
+        logits = model(task, task.queries[0].query)
+        assert logits.shape == (task.graph.num_nodes,)
+
+    def test_predict_proba_bounds(self, model_and_task):
+        model, task = model_and_task
+        probabilities = model.predict_proba(task, task.queries[0].query)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_search_community_contains_query(self, model_and_task):
+        model, task = model_and_task
+        query = task.queries[0].query
+        members = model.search_community(task, query, threshold=0.99)
+        assert query in members
+
+    def test_describe(self, model_and_task):
+        model, _ = model_and_task
+        assert "CGNP" in model.describe()
+
+    def test_state_roundtrip(self, model_and_task, tmp_path, rng):
+        model, task = model_and_task
+        path = str(tmp_path / "cgnp.npz")
+        save_state(model.state_dict(), path)
+        dim = task.features().shape[1]
+        clone = CGNP(dim, model.config, make_rng(5))
+        clone.load_state_dict(load_state(path))
+        query = task.queries[0].query
+        np.testing.assert_allclose(model.predict_proba(task, query),
+                                   clone.predict_proba(task, query))
+
+    @pytest.mark.parametrize("decoder", ["ip", "mlp", "gnn"])
+    def test_all_decoders_run(self, tiny_tasks, rng, decoder):
+        train, _ = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     decoder=decoder, dropout=0.0), rng)
+        logits = model(train[0], train[0].queries[0].query)
+        assert logits.shape == (train[0].graph.num_nodes,)
+
+    @pytest.mark.parametrize("aggregator", ["sum", "mean", "attention"])
+    def test_all_aggregators_run(self, tiny_tasks, rng, aggregator):
+        train, _ = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     aggregator=aggregator, dropout=0.0), rng)
+        context = model.context(train[0])
+        assert context.shape == (train[0].graph.num_nodes, 8)
+
+
+class TestMetaTraining:
+    def test_loss_decreases(self, tiny_tasks, rng):
+        train, _ = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=16, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        state = meta_train(model, train,
+                           MetaTrainConfig(epochs=15, learning_rate=2e-3), rng)
+        assert state.epoch_losses[-1] < state.epoch_losses[0]
+
+    def test_training_beats_untrained_model(self, tiny_tasks, rng):
+        """The headline integration check: meta-training must improve
+        held-out F1 over a freshly initialised model."""
+        from repro.eval import community_metrics, mean_metrics
+
+        train, test = tiny_tasks
+        dim = train[0].features().shape[1]
+
+        def test_f1(model):
+            scores = []
+            for task in test:
+                for pred in meta_test_task(model, task):
+                    scores.append(community_metrics(
+                        pred.members, pred.ground_truth, pred.query))
+            return mean_metrics(scores).f1
+
+        untrained = CGNP(dim, CGNPConfig(hidden_dim=16, num_layers=2,
+                                         conv="gcn", dropout=0.0), make_rng(0))
+        trained = CGNP(dim, CGNPConfig(hidden_dim=16, num_layers=2,
+                                       conv="gcn", dropout=0.0), make_rng(0))
+        meta_train(trained, train, MetaTrainConfig(epochs=40, learning_rate=2e-3),
+                   make_rng(1))
+        assert test_f1(trained) > test_f1(untrained)
+
+    def test_early_stopping(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        state = meta_train(model, train,
+                           MetaTrainConfig(epochs=200, learning_rate=5e-3,
+                                           patience=3),
+                           rng, valid_tasks=list(test))
+        assert len(state.epoch_losses) < 200 or not state.stopped_early
+
+    def test_empty_task_list_rejected(self, rng):
+        model_config = CGNPConfig(hidden_dim=8, num_layers=1)
+        model = CGNP(4, model_config, rng)
+        with pytest.raises(ValueError):
+            meta_train(model, [], MetaTrainConfig(epochs=1), rng)
+
+    def test_task_loss_finite(self, tiny_tasks, rng):
+        train, _ = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        loss = task_loss(model, train[0])
+        assert np.isfinite(float(loss.data))
+
+    def test_evaluate_loss(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        value = evaluate_loss(model, test)
+        assert np.isfinite(value) and value > 0
+
+
+class TestMetaTesting:
+    def test_predictions_cover_all_queries(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        predictions = meta_test_task(model, test[0])
+        assert len(predictions) == len(test[0].queries)
+        predicted_queries = {p.query for p in predictions}
+        assert predicted_queries == {e.query for e in test[0].queries}
+
+    def test_prediction_members_include_query(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        for prediction in meta_test_task(model, test[0]):
+            assert prediction.query in prediction.members
+
+    def test_predict_memberships_arbitrary_queries(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        dim = train[0].features().shape[1]
+        model = CGNP(dim, CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                     dropout=0.0), rng)
+        task = test[0]
+        queries = [0, 1, task.graph.num_nodes - 1]
+        result = predict_memberships(model, task, queries)
+        assert set(result) == set(queries)
+        for query, members in result.items():
+            assert query in members

@@ -1,0 +1,188 @@
+"""Unit tests for repro.nn.functional: activations, softmax, dropout,
+concat/stack, gather/scatter and segment ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from helpers import gradcheck, gradcheck_multi
+
+
+class TestActivations:
+    def setup_method(self):
+        self.rng = np.random.default_rng(10)
+        a = self.rng.normal(size=(4, 3))
+        a[np.abs(a) < 0.1] = 0.7  # keep away from kinks
+        self.a = a
+
+    def test_leaky_relu_forward(self):
+        out = F.leaky_relu(Tensor([-1.0, 2.0]), 0.2)
+        np.testing.assert_allclose(out.data, [-0.2, 2.0])
+
+    def test_leaky_relu_grad(self):
+        gradcheck(lambda x: F.leaky_relu(x, 0.2), self.a)
+
+    def test_elu_forward(self):
+        out = F.elu(Tensor([-1.0, 2.0]))
+        np.testing.assert_allclose(out.data, [np.exp(-1.0) - 1.0, 2.0])
+
+    def test_elu_grad(self):
+        gradcheck(lambda x: F.elu(x), self.a)
+
+    def test_relu_sigmoid_tanh_dispatch(self):
+        x = Tensor([-1.0, 1.0])
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 1.0])
+        assert F.sigmoid(x).data[1] > 0.5
+        np.testing.assert_allclose(F.tanh(x).data, np.tanh([-1.0, 1.0]))
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_softmax_large_logits_stable(self):
+        out = F.softmax(Tensor([1000.0, 1000.0, -1000.0]))
+        np.testing.assert_allclose(out.data, [0.5, 0.5, 0.0], atol=1e-12)
+
+    def test_softmax_grad(self):
+        gradcheck(lambda x: F.softmax(x, axis=-1),
+                  np.random.default_rng(1).normal(size=(3, 4)))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = np.random.default_rng(2).normal(size=(4, 5))
+        expected = np.log(F.softmax(Tensor(x)).data)
+        np.testing.assert_allclose(F.log_softmax(Tensor(x)).data, expected,
+                                   atol=1e-10)
+
+    def test_log_softmax_grad(self):
+        gradcheck(lambda x: F.log_softmax(x, axis=-1),
+                  np.random.default_rng(3).normal(size=(2, 6)))
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_probability_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.0, np.random.default_rng(0), training=True)
+        assert out is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(42)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, np.random.default_rng(0))
+
+    def test_dropout_grad_flows_through_mask(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones(50), requires_grad=True)
+        out = F.dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        kept = out.data > 0
+        np.testing.assert_allclose(x.grad[kept], 2.0)  # 1/(1-p)
+        np.testing.assert_allclose(x.grad[~kept], 0.0)
+
+
+class TestConcatStack:
+    def setup_method(self):
+        self.rng = np.random.default_rng(5)
+
+    def test_concat_forward(self):
+        a, b = Tensor([[1.0]]), Tensor([[2.0]])
+        np.testing.assert_allclose(F.concat([a, b], axis=0).data, [[1.0], [2.0]])
+
+    def test_concat_grad_axis0(self):
+        a = self.rng.normal(size=(2, 3))
+        b = self.rng.normal(size=(4, 3))
+        gradcheck_multi(lambda x, y: F.concat([x, y], axis=0), a, b)
+
+    def test_concat_grad_axis1(self):
+        a = self.rng.normal(size=(3, 2))
+        b = self.rng.normal(size=(3, 5))
+        gradcheck_multi(lambda x, y: F.concat([x, y], axis=1), a, b)
+
+    def test_stack_grad(self):
+        a = self.rng.normal(size=(3, 2))
+        b = self.rng.normal(size=(3, 2))
+        gradcheck_multi(lambda x, y: F.stack([x, y], axis=0), a, b)
+        gradcheck_multi(lambda x, y: F.stack([x, y], axis=1), a, b)
+
+    def test_stack_forward_shape(self):
+        out = F.stack([Tensor(np.zeros((3, 2)))] * 4, axis=0)
+        assert out.shape == (4, 3, 2)
+
+
+class TestScatterGatherSegments:
+    def setup_method(self):
+        self.rng = np.random.default_rng(6)
+
+    def test_gather_rows(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.gather_rows(x, np.array([3, 3, 0]))
+        np.testing.assert_allclose(out.data[0], [9, 10, 11])
+
+    def test_scatter_add_forward(self):
+        src = Tensor(np.ones((4, 2)))
+        out = F.scatter_add(src, np.array([0, 0, 1, 2]), 3)
+        np.testing.assert_allclose(out.data, [[2, 2], [1, 1], [1, 1]])
+
+    def test_scatter_add_grad(self):
+        src = self.rng.normal(size=(5, 3))
+        index = np.array([0, 1, 1, 2, 0])
+        gradcheck(lambda x: F.scatter_add(x, index, 3), src)
+
+    def test_scatter_add_index_validation(self):
+        with pytest.raises(ValueError):
+            F.scatter_add(Tensor(np.ones((3, 2))), np.array([0, 1]), 4)
+
+    def test_segment_sum_1d(self):
+        values = Tensor(np.array([1.0, 2.0, 3.0, 4.0]))
+        out = F.segment_sum(values, np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out.data, [3.0, 7.0])
+
+    def test_segment_mean_with_empty_segment(self):
+        values = Tensor(np.array([2.0, 4.0]))
+        out = F.segment_mean(values, np.array([0, 0]), 3)
+        np.testing.assert_allclose(out.data, [3.0, 0.0, 0.0])
+
+    def test_segment_softmax_normalises_per_segment(self):
+        scores = Tensor(self.rng.normal(size=8))
+        segments = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        out = F.segment_softmax(scores, segments, 3)
+        for segment in range(3):
+            total = out.data[segments == segment].sum()
+            np.testing.assert_allclose(total, 1.0, atol=1e-10)
+
+    def test_segment_softmax_grad(self):
+        segments = np.array([0, 0, 1, 1, 1])
+        gradcheck(lambda x: F.segment_softmax(x, segments, 2),
+                  self.rng.normal(size=5))
+
+    def test_segment_softmax_rejects_2d(self):
+        with pytest.raises(ValueError):
+            F.segment_softmax(Tensor(np.ones((2, 2))), np.array([0, 1]), 2)
+
+    def test_segment_softmax_large_scores_stable(self):
+        scores = Tensor(np.array([500.0, 500.0, -500.0]))
+        out = F.segment_softmax(scores, np.array([0, 0, 0]), 1)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data.sum(), 1.0)
+
+    def test_pairwise_inner_product(self):
+        q = Tensor(np.eye(2))
+        k = Tensor(np.array([[1.0, 0.0], [0.0, 3.0], [1.0, 1.0]]))
+        out = F.pairwise_inner_product(q, k)
+        np.testing.assert_allclose(out.data, [[1, 0, 1], [0, 3, 1]])

@@ -1,0 +1,190 @@
+"""Tests for the random-graph generators and the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MultiGraphDataset,
+    SingleGraphDataset,
+    build_facebook,
+    dataset_names,
+    load_dataset,
+)
+from repro.graph import (
+    attributed_community_graph,
+    community_sizes,
+    connected_components,
+    ego_network,
+    planted_partition_graph,
+)
+from repro.utils import make_rng
+
+
+class TestCommunitySizes:
+    def test_sum_matches(self, rng):
+        sizes = community_sizes(100, 7, rng)
+        assert sizes.sum() == 100
+
+    def test_minimum_size_two(self, rng):
+        sizes = community_sizes(30, 10, rng, skew=2.0)
+        assert sizes.min() >= 2
+
+    def test_too_many_communities_rejected(self, rng):
+        with pytest.raises(ValueError):
+            community_sizes(10, 8, rng)
+
+    def test_zero_communities_rejected(self, rng):
+        with pytest.raises(ValueError):
+            community_sizes(10, 0, rng)
+
+
+class TestPlantedPartition:
+    def test_community_partition_covers_nodes(self, rng):
+        g = planted_partition_graph(200, 5, 6.0, 0.2, rng)
+        members = sorted(v for c in g.communities for v in c)
+        assert members == list(range(200))
+
+    def test_intra_density_exceeds_inter(self, rng):
+        g = planted_partition_graph(400, 4, 10.0, 0.15, rng)
+        community_of = np.zeros(g.num_nodes, dtype=int)
+        for index, community in enumerate(g.communities):
+            for node in community:
+                community_of[node] = index
+        intra = sum(1 for u, v in g.edges if community_of[u] == community_of[v])
+        inter = g.num_edges - intra
+        # Normalise by the pair counts.
+        sizes = np.bincount(community_of)
+        intra_pairs = sum(s * (s - 1) // 2 for s in sizes)
+        inter_pairs = g.num_nodes * (g.num_nodes - 1) // 2 - intra_pairs
+        assert intra / intra_pairs > 5 * (inter / max(inter_pairs, 1))
+
+    def test_average_degree_near_target(self, rng):
+        g = planted_partition_graph(500, 5, 8.0, 0.2, rng)
+        avg = 2.0 * g.num_edges / g.num_nodes
+        assert 4.0 < avg < 12.0
+
+    def test_deterministic_under_seed(self):
+        g1 = planted_partition_graph(100, 3, 5.0, 0.2, make_rng(5))
+        g2 = planted_partition_graph(100, 3, 5.0, 0.2, make_rng(5))
+        np.testing.assert_array_equal(g1.edges, g2.edges)
+
+    def test_invalid_mixing_rejected(self, rng):
+        with pytest.raises(ValueError):
+            planted_partition_graph(50, 2, 4.0, 1.0, rng)
+
+
+class TestAttributedGraph:
+    def test_attribute_shape(self, rng):
+        g = attributed_community_graph(80, 4, 6.0, 0.2, 32, rng)
+        assert g.attributes.shape == (80, 32)
+        assert set(np.unique(g.attributes)) <= {0.0, 1.0}
+
+    def test_attributes_correlate_with_communities(self, rng):
+        g = attributed_community_graph(300, 3, 8.0, 0.1, 90, rng,
+                                       attribute_signal=0.95)
+        # Mean intra-community attribute cosine similarity should beat the
+        # inter-community one.
+        def mean_overlap(pairs):
+            values = []
+            for u, v in pairs:
+                a, b = g.attributes[u], g.attributes[v]
+                values.append((a @ b) / max(np.sqrt(a.sum() * b.sum()), 1.0))
+            return np.mean(values)
+
+        rng2 = make_rng(0)
+        intra_pairs, inter_pairs = [], []
+        for _ in range(300):
+            c = rng2.integers(3)
+            members = sorted(g.communities[c])
+            u, v = rng2.choice(members, 2, replace=False)
+            intra_pairs.append((u, v))
+            other = sorted(g.communities[(c + 1) % 3])
+            inter_pairs.append((u, rng2.choice(other)))
+        assert mean_overlap(intra_pairs) > 1.5 * mean_overlap(inter_pairs)
+
+
+class TestEgoNetwork:
+    def test_ego_connects_to_all(self, rng):
+        g = ego_network(50, 4, 16, rng)
+        assert len(g.neighbors(0)) == 49
+
+    def test_connected(self, rng):
+        g = ego_network(60, 5, 16, rng)
+        assert len(connected_components(g)) == 1
+
+    def test_circles_cover_alters(self, rng):
+        g = ego_network(40, 3, 16, rng)
+        covered = set()
+        for circle in g.communities:
+            covered |= set(circle)
+        assert covered == set(range(1, 40))
+
+    def test_overlap_produces_multi_membership(self):
+        g = ego_network(200, 4, 16, make_rng(3), overlap=0.5)
+        multi = [v for v in range(1, 200) if len(g.communities_of(v)) > 1]
+        assert len(multi) > 10
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ego_network(4, 5, 8, rng)
+
+
+class TestDatasetRegistry:
+    def test_names(self):
+        assert dataset_names() == ["arxiv", "citeseer", "cora", "dblp",
+                                   "facebook", "reddit"]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("imdb")
+
+    def test_cora_profile(self):
+        ds = load_dataset("cora", scale=0.25)
+        assert isinstance(ds, SingleGraphDataset)
+        profile = ds.profile
+        assert profile["attributes"] == 1433
+        assert profile["communities"] >= 2
+
+    def test_full_scale_cora_matches_table1(self):
+        ds = load_dataset("cora")
+        assert ds.profile["nodes"] == 2708
+        assert ds.profile["communities"] == 7
+
+    def test_attribute_free_datasets(self):
+        ds = load_dataset("dblp", scale=0.05)
+        assert ds.graph.attributes is None
+
+    def test_facebook_is_multigraph(self):
+        ds = load_dataset("facebook", scale=0.3)
+        assert isinstance(ds, MultiGraphDataset)
+        assert len(ds.graphs) == 10
+        for graph in ds.graphs:
+            assert graph.num_communities >= 2
+            assert graph.attributes is not None
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("citeseer", scale=0.2)
+        b = load_dataset("citeseer", scale=0.2)
+        assert a is b
+
+    def test_cache_distinguishes_scale(self):
+        a = load_dataset("citeseer", scale=0.2)
+        b = load_dataset("citeseer", scale=0.3)
+        assert a is not b
+
+    def test_no_cache(self):
+        a = load_dataset("citeseer", scale=0.2, cache=False)
+        b = load_dataset("citeseer", scale=0.2, cache=False)
+        assert a is not b
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=-1.0)
+
+    def test_seed_changes_graph(self):
+        a = load_dataset("cora", seed=1, scale=0.2, cache=False)
+        b = load_dataset("cora", seed=2, scale=0.2, cache=False)
+        assert a.graph.num_edges != b.graph.num_edges or \
+            not np.array_equal(a.graph.edges, b.graph.edges)

@@ -1,0 +1,165 @@
+"""Tests for the GNN convolutions and encoders, including exact gradient
+checks through full message-passing layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    CONV_TYPES,
+    GATConv,
+    GCNConv,
+    GNNEncoder,
+    GNNNodeClassifier,
+    SAGEConv,
+    graph_ops,
+    make_query_features,
+)
+from repro.nn import Tensor
+from repro.utils import make_rng
+
+from helpers import gradcheck, triangle_graph, two_cliques_graph
+
+
+@pytest.fixture
+def graph():
+    return two_cliques_graph(4)
+
+
+class TestGraphOps:
+    def test_cached_on_graph(self, graph):
+        first = graph_ops(graph)
+        second = graph_ops(graph)
+        assert first is second
+
+    def test_edge_lists_include_self_loops(self, graph):
+        ops = graph_ops(graph)
+        loops = (ops.edge_src == ops.edge_dst).sum()
+        assert loops == graph.num_nodes
+        assert len(ops.edge_src) == 2 * graph.num_edges + graph.num_nodes
+
+    def test_norm_adj_shape(self, graph):
+        ops = graph_ops(graph)
+        assert ops.norm_adj.shape == (graph.num_nodes, graph.num_nodes)
+
+
+class TestConvolutions:
+    @pytest.mark.parametrize("conv_name", ["gcn", "gat", "sage"])
+    def test_output_shape(self, conv_name, graph, rng):
+        conv = CONV_TYPES[conv_name](6, 4, rng)
+        x = Tensor(rng.normal(size=(graph.num_nodes, 6)))
+        out = conv(x, graph_ops(graph))
+        assert out.shape == (graph.num_nodes, 4)
+
+    @pytest.mark.parametrize("conv_name", ["gcn", "gat", "sage"])
+    def test_gradient_through_conv(self, conv_name, graph, rng):
+        """End-to-end gradcheck through a full message-passing layer."""
+        conv = CONV_TYPES[conv_name](3, 2, rng)
+        ops = graph_ops(graph)
+        x = rng.normal(size=(graph.num_nodes, 3))
+        gradcheck(lambda t: conv(t, ops), x, atol=1e-4, rtol=1e-3)
+
+    def test_gcn_constant_signal_preserved_on_regular_graph(self, rng):
+        """On a d-regular graph the GCN operator leaves constants intact."""
+        g = triangle_graph()
+        conv = GCNConv(1, 1, rng, bias=False)
+        conv.weight.data = np.array([[1.0]])
+        out = conv(Tensor(np.ones((3, 1))), graph_ops(g))
+        np.testing.assert_allclose(out.data, np.ones((3, 1)), atol=1e-10)
+
+    def test_gat_attention_rows_sum_to_one_effect(self, graph, rng):
+        """With identity transform and constant features, GAT output equals
+        the input (attention is a convex combination)."""
+        conv = GATConv(2, 2, rng, bias=False)
+        conv.weight.data = np.eye(2).reshape(1, 2, 2)
+        x = Tensor(np.ones((graph.num_nodes, 2)) * 3.0)
+        out = conv(x, graph_ops(graph))
+        np.testing.assert_allclose(out.data, 3.0, atol=1e-8)
+
+    def test_gat_multi_head(self, graph, rng):
+        conv = GATConv(4, 3, rng, num_heads=2)
+        out = conv(Tensor(rng.normal(size=(graph.num_nodes, 4))), graph_ops(graph))
+        assert out.shape == (graph.num_nodes, 3)
+
+    def test_gat_rejects_zero_heads(self, rng):
+        with pytest.raises(ValueError):
+            GATConv(2, 2, rng, num_heads=0)
+
+    def test_sage_combines_self_and_neighbors(self, rng):
+        g = triangle_graph()
+        conv = SAGEConv(1, 1, rng, bias=False)
+        conv.weight_self.data = np.array([[1.0]])
+        conv.weight_neigh.data = np.array([[10.0]])
+        x = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = conv(x, graph_ops(g))
+        # node 0: self 1 + 10 * mean(2, 3) = 26
+        np.testing.assert_allclose(out.data[0, 0], 26.0)
+
+
+class TestEncoder:
+    def test_shapes(self, graph, rng):
+        encoder = GNNEncoder(5, 8, 3, "gcn", 0.0, rng)
+        out = encoder(Tensor(rng.normal(size=(graph.num_nodes, 5))), graph)
+        assert out.shape == (graph.num_nodes, 8)
+
+    @pytest.mark.parametrize("conv_name", ["gcn", "gat", "sage"])
+    def test_all_convs_build(self, conv_name, graph, rng):
+        encoder = GNNEncoder(3, 4, 2, conv_name, 0.1, rng)
+        out = encoder(Tensor(rng.normal(size=(graph.num_nodes, 3))), graph)
+        assert out.shape == (graph.num_nodes, 4)
+
+    def test_unknown_conv_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GNNEncoder(3, 4, 2, "transformer", 0.0, rng)
+
+    def test_zero_layers_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GNNEncoder(3, 4, 0, "gcn", 0.0, rng)
+
+    def test_dropout_only_in_training(self, graph, rng):
+        encoder = GNNEncoder(3, 4, 2, "gcn", 0.5, rng)
+        x = Tensor(rng.normal(size=(graph.num_nodes, 3)))
+        encoder.eval()
+        a = encoder(x, graph).data
+        b = encoder(x, graph).data
+        np.testing.assert_allclose(a, b)  # deterministic in eval
+
+    def test_gradients_reach_all_parameters(self, graph, rng):
+        encoder = GNNEncoder(3, 4, 2, "gat", 0.0, rng)
+        x = Tensor(rng.normal(size=(graph.num_nodes, 3)))
+        encoder(x, graph).sum().backward()
+        for name, param in encoder.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+
+class TestNodeClassifier:
+    def test_logit_shape(self, graph, rng):
+        model = GNNNodeClassifier(4, 8, 3, "gcn", 0.0, rng)
+        logits = model(Tensor(rng.normal(size=(graph.num_nodes, 4))), graph)
+        assert logits.shape == (graph.num_nodes,)
+
+    def test_predict_proba_in_unit_interval(self, graph, rng):
+        model = GNNNodeClassifier(4, 8, 2, "sage", 0.0, rng)
+        probabilities = model.predict_proba(
+            Tensor(rng.normal(size=(graph.num_nodes, 4))), graph)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+
+class TestQueryFeatures:
+    def test_indicator_prepended(self):
+        features = np.zeros((4, 2))
+        out = make_query_features(features, query=2)
+        assert out.shape == (4, 3)
+        np.testing.assert_allclose(out[:, 0], [0, 0, 1, 0])
+
+    def test_positives_marked(self):
+        features = np.zeros((4, 2))
+        out = make_query_features(features, 0, positives=np.array([3]))
+        np.testing.assert_allclose(out[:, 0], [1, 0, 0, 1])
+
+    def test_original_features_untouched(self):
+        features = np.ones((3, 2))
+        out = make_query_features(features, 1)
+        np.testing.assert_allclose(out[:, 1:], features)

@@ -1,0 +1,175 @@
+"""Tests for the Graph container: construction, accessors, communities and
+induced subgraphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, from_edge_list, from_networkx, to_networkx
+
+from helpers import triangle_graph, two_cliques_graph
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_self_loops_removed(self):
+        g = Graph(3, [(0, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_duplicate_and_reversed_edges_merged(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_edges_canonical_orientation(self):
+        g = Graph(3, [(2, 0), (1, 2)])
+        assert np.all(g.edges[:, 0] < g.edges[:, 1])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(0, [])
+
+    def test_no_edges_graph(self):
+        g = Graph(5, [])
+        assert g.num_edges == 0
+        assert g.degrees().sum() == 0
+
+    def test_attribute_shape_validated(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)], attributes=np.zeros((2, 4)))
+
+    def test_community_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)], communities=[[0, 9]])
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2, 3])
+
+    def test_degrees(self):
+        g = triangle_graph()
+        np.testing.assert_array_equal(g.degrees(), [2, 2, 2])
+
+    def test_has_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 1)
+
+    def test_directed_edges_both_orientations(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        src, dst = g.directed_edges()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert len(pairs) == 4
+
+    def test_adjacency_symmetric(self):
+        g = two_cliques_graph()
+        adj = g.adjacency.toarray()
+        np.testing.assert_array_equal(adj, adj.T)
+
+
+class TestCommunities:
+    def test_membership_lookup(self):
+        g = two_cliques_graph(4)
+        assert g.communities_of(0) == [0]
+        assert g.communities_of(5) == [1]
+
+    def test_overlapping_communities(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], communities=[[0, 1, 2], [2, 3]])
+        assert g.communities_of(2) == [0, 1]
+        assert g.ground_truth_community(2) == {0, 1, 2, 3}
+
+    def test_ground_truth_union(self):
+        g = two_cliques_graph(3)
+        assert g.ground_truth_community(1) == {0, 1, 2}
+
+    def test_node_without_community(self):
+        g = Graph(3, [(0, 1)], communities=[[0, 1]])
+        assert g.communities_of(2) == []
+        assert g.ground_truth_community(2) == set()
+
+    def test_nodes_with_ground_truth(self):
+        g = Graph(4, [(0, 1)], communities=[[1, 3]])
+        np.testing.assert_array_equal(g.nodes_with_ground_truth(), [1, 3])
+
+    def test_empty_community_skipped(self):
+        g = Graph(3, [(0, 1)], communities=[[], [0]])
+        assert g.num_communities == 1
+
+
+class TestInducedSubgraph:
+    def test_preserves_internal_edges(self):
+        g = two_cliques_graph(4)  # nodes 0-3 and 4-7
+        sub = g.induced_subgraph([0, 1, 2, 3])
+        assert sub.num_nodes == 4
+        assert sub.num_edges == 6  # K4
+
+    def test_drops_external_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.induced_subgraph([0, 1, 3])
+        assert sub.num_edges == 1  # only (0, 1) survives
+
+    def test_parent_nodes_recorded(self):
+        g = two_cliques_graph(3)
+        sub = g.induced_subgraph([4, 2, 0])
+        np.testing.assert_array_equal(sub.parent_nodes, [4, 2, 0])
+
+    def test_nested_induction_tracks_original_ids(self):
+        g = two_cliques_graph(4)
+        sub = g.induced_subgraph([4, 5, 6, 7])
+        subsub = sub.induced_subgraph([1, 2])
+        np.testing.assert_array_equal(subsub.parent_nodes, [5, 6])
+
+    def test_communities_restricted_and_relabelled(self):
+        g = two_cliques_graph(3)  # communities {0,1,2} and {3,4,5}
+        sub = g.induced_subgraph([1, 2, 3])
+        community_sets = {frozenset(c) for c in sub.communities}
+        assert frozenset({0, 1}) in community_sets  # {1,2} relabelled
+        assert frozenset({2}) in community_sets     # {3} relabelled
+
+    def test_attributes_sliced(self):
+        attrs = np.arange(12.0).reshape(4, 3)
+        g = Graph(4, [(0, 1)], attributes=attrs)
+        sub = g.induced_subgraph([2, 0])
+        np.testing.assert_allclose(sub.attributes, attrs[[2, 0]])
+
+    def test_duplicate_nodes_deduplicated(self):
+        g = triangle_graph()
+        sub = g.induced_subgraph([0, 0, 1])
+        assert sub.num_nodes == 2
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_graph().induced_subgraph([])
+
+
+class TestConversions:
+    def test_from_edge_list(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_networkx_roundtrip(self):
+        g = two_cliques_graph(4)
+        back = from_networkx(to_networkx(g))
+        assert back.num_nodes == g.num_nodes
+        assert back.num_edges == g.num_edges
+        # Community structure survives the roundtrip.
+        assert back.num_communities == g.num_communities
+
+    def test_to_networkx_attaches_communities(self):
+        g = two_cliques_graph(3)
+        nx_graph = to_networkx(g)
+        assert nx_graph.nodes[0]["community"] == [0]

@@ -1,0 +1,110 @@
+"""Tests for weight initialisation and miscellaneous nn edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, init
+from repro.utils import make_rng
+
+from helpers import gradcheck
+
+
+class TestInitializers:
+    def test_glorot_bounds(self, rng):
+        weights = init.glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(weights) <= limit)
+        assert weights.shape == (100, 50)
+
+    def test_glorot_1d(self, rng):
+        weights = init.glorot_uniform((64,), rng)
+        limit = np.sqrt(6.0 / 128)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_glorot_conv_shape_fans(self, rng):
+        # 4-D shapes use receptive-field fans.
+        weights = init.glorot_uniform((8, 4, 3, 3), rng)
+        limit = np.sqrt(6.0 / (4 * 9 + 8 * 9))
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_kaiming_bounds(self, rng):
+        weights = init.kaiming_uniform((200, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_uniform_range(self, rng):
+        weights = init.uniform((50,), rng, low=-0.1, high=0.1)
+        assert np.all((weights >= -0.1) & (weights <= 0.1))
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros_init((3, 3)), np.zeros((3, 3)))
+
+    def test_deterministic_under_seed(self):
+        a = init.glorot_uniform((10, 10), make_rng(5))
+        b = init.glorot_uniform((10, 10), make_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_nonzero_spread(self, rng):
+        weights = init.glorot_uniform((50, 50), rng)
+        assert weights.std() > 0.01
+
+
+class TestCompositeGradients:
+    """Gradients through compositions that mirror real model fragments."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(8)
+
+    def test_attention_fragment(self):
+        # softmax(QK^T/sqrt(d)) V with shared input — the self-attention ⊕.
+        from repro.nn import functional as F
+
+        x = self.rng.normal(size=(4, 3))
+
+        def fragment(t):
+            scores = t.matmul(t.T) * (1.0 / np.sqrt(3))
+            return F.softmax(scores, axis=-1).matmul(t)
+
+        gradcheck(fragment, x)
+
+    def test_inner_product_decoder_fragment(self):
+        x = self.rng.normal(size=(5, 3))
+
+        def fragment(t):
+            query = t.take_rows(np.asarray([2])).reshape(-1)
+            return t.matmul(query).sigmoid()
+
+        gradcheck(fragment, x)
+
+    def test_prototype_distance_fragment(self):
+        # GPN's distance-to-prototype classifier.
+        x = self.rng.normal(size=(6, 4))
+
+        def fragment(t):
+            c_pos = t.take_rows(np.asarray([0, 1])).mean(axis=0)
+            c_neg = t.take_rows(np.asarray([4, 5])).mean(axis=0)
+            d_pos = ((t - c_pos.reshape(1, -1)) ** 2).sum(axis=1)
+            d_neg = ((t - c_neg.reshape(1, -1)) ** 2).sum(axis=1)
+            return (d_neg - d_pos).sigmoid()
+
+        gradcheck(fragment, x)
+
+    def test_deep_chain_no_graph_corruption(self):
+        # Long chains must backprop exactly once per node.
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 1.01 ** 50), rtol=1e-10)
+
+    def test_grad_not_tracked_in_eval_path(self):
+        from repro.nn import no_grad
+
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sigmoid().sum()
+        assert y._backward is None
+        assert not y.requires_grad

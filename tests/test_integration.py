@@ -1,0 +1,136 @@
+"""End-to-end integration tests exercising the full pipeline across
+scenarios, plus determinism and failure-injection checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CGNPMethod
+from repro.core import CGNP, CGNPConfig, MetaTrainConfig, meta_test_task, meta_train
+from repro.datasets import load_dataset
+from repro.eval import community_metrics, evaluate_method, mean_metrics
+from repro.tasks import ScenarioConfig, make_scenario
+from repro.utils import make_rng
+
+TINY_MODEL = CGNPConfig(hidden_dim=16, num_layers=2, conv="gcn", dropout=0.0)
+TINY_TRAIN = MetaTrainConfig(epochs=6, learning_rate=2e-3)
+
+
+def _scenario_config(seed=0):
+    return ScenarioConfig(num_train_tasks=4, num_valid_tasks=1,
+                          num_test_tasks=2, subgraph_nodes=50,
+                          num_support=2, num_query=3, seed=seed)
+
+
+@pytest.mark.parametrize("scenario,dataset", [
+    ("sgsc", "cora"),
+    ("sgdc", "cora"),
+    ("mgod", "facebook"),
+    ("mgdd", "cite2cora"),
+])
+def test_full_pipeline_each_scenario(scenario, dataset):
+    """Dataset → tasks → meta-train → meta-test → metrics, per scenario."""
+    tasks = make_scenario(scenario, dataset, _scenario_config(), scale=0.25)
+    rng = make_rng(1)
+    model = CGNP(tasks.train[0].features().shape[1], TINY_MODEL, rng)
+    meta_train(model, tasks.train, TINY_TRAIN, rng)
+
+    scores = []
+    for task in tasks.test:
+        predictions = meta_test_task(model, task)
+        assert len(predictions) == len(task.queries)
+        for prediction in predictions:
+            scores.append(community_metrics(
+                prediction.members, prediction.ground_truth, prediction.query))
+    summary = mean_metrics(scores)
+    assert 0.0 <= summary.f1 <= 1.0
+
+
+def test_pipeline_is_deterministic():
+    """Same seeds end to end → identical metrics."""
+    def run():
+        tasks = make_scenario("sgsc", "cora", _scenario_config(seed=7),
+                              scale=0.25)
+        method = CGNPMethod(TINY_MODEL, TINY_TRAIN, seed=5)
+        result = evaluate_method(method, tasks, np.random.default_rng(5))
+        return result.metrics
+
+    first = run()
+    second = run()
+    assert first.f1 == second.f1
+    assert first.accuracy == second.accuracy
+
+
+def test_meta_learning_transfers_to_unseen_communities():
+    """SGDC: training on one half of the communities must still help on the
+    disjoint half — the core meta-learning claim."""
+    tasks = make_scenario("sgdc", "cora", ScenarioConfig(
+        num_train_tasks=8, num_valid_tasks=1, num_test_tasks=3,
+        subgraph_nodes=60, num_support=2, num_query=4, seed=2), scale=0.3)
+
+    def f1_of(model):
+        scores = []
+        for task in tasks.test:
+            for prediction in meta_test_task(model, task):
+                scores.append(community_metrics(
+                    prediction.members, prediction.ground_truth,
+                    prediction.query))
+        return mean_metrics(scores).f1
+
+    in_dim = tasks.train[0].features().shape[1]
+    untrained = CGNP(in_dim, TINY_MODEL, make_rng(0))
+    trained = CGNP(in_dim, TINY_MODEL, make_rng(0))
+    meta_train(trained, tasks.train,
+               MetaTrainConfig(epochs=25, learning_rate=2e-3), make_rng(1))
+    assert f1_of(trained) > f1_of(untrained)
+
+
+def test_more_shots_do_not_hurt_much():
+    """5-shot context should be at least roughly as good as 1-shot (the
+    paper's Tables II/III show modest gains)."""
+    tasks = make_scenario("sgsc", "cora", ScenarioConfig(
+        num_train_tasks=8, num_valid_tasks=1, num_test_tasks=3,
+        subgraph_nodes=60, num_support=5, num_query=4, seed=3), scale=0.3)
+    method = CGNPMethod(TINY_MODEL,
+                        MetaTrainConfig(epochs=20, learning_rate=2e-3), seed=1)
+    result_5shot = evaluate_method(method, tasks, np.random.default_rng(0))
+    result_1shot = evaluate_method(method, tasks, np.random.default_rng(0),
+                                   num_shots=1, skip_meta_fit=True)
+    assert result_5shot.metrics.f1 >= result_1shot.metrics.f1 - 0.15
+
+
+def test_model_survives_task_with_single_query():
+    """Degenerate task shapes must not crash inference."""
+    tasks = make_scenario("sgsc", "cora", ScenarioConfig(
+        num_train_tasks=2, num_valid_tasks=1, num_test_tasks=1,
+        subgraph_nodes=40, num_support=1, num_query=1, seed=4), scale=0.25)
+    rng = make_rng(0)
+    model = CGNP(tasks.train[0].features().shape[1], TINY_MODEL, rng)
+    meta_train(model, tasks.train, MetaTrainConfig(epochs=2), rng)
+    predictions = meta_test_task(model, tasks.test[0])
+    assert len(predictions) == len(tasks.test[0].queries)
+
+
+def test_handles_disconnected_task_graphs():
+    """BFS samples are connected, but hand-built tasks may not be; the
+    models must cope with isolated nodes (zero-degree rows)."""
+    from repro.graph import Graph
+    from repro.tasks import QueryExample, Task
+
+    # Two triangles plus two isolated nodes.
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    g = Graph(8, edges, communities=[[0, 1, 2], [3, 4, 5]])
+    membership = np.zeros(8, dtype=bool)
+    membership[:3] = True
+    example = QueryExample(0, np.array([1]), np.array([4, 6]), membership)
+    membership2 = np.zeros(8, dtype=bool)
+    membership2[3:6] = True
+    example2 = QueryExample(3, np.array([4]), np.array([0, 7]), membership2)
+    task = Task(g, [example], [example2])
+
+    rng = make_rng(0)
+    model = CGNP(task.features().shape[1], TINY_MODEL, rng)
+    meta_train(model, [task], MetaTrainConfig(epochs=2), rng)
+    predictions = meta_test_task(model, task)
+    assert np.all(np.isfinite(predictions[0].probabilities))

@@ -1,0 +1,135 @@
+"""Tests for loss functions and sparse message-passing primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import (
+    Tensor,
+    bce_loss,
+    bce_with_logits,
+    masked_bce_with_logits,
+    mse_loss,
+    normalized_adjacency,
+    row_normalized_adjacency,
+    spmm,
+)
+
+from helpers import gradcheck
+
+
+class TestBCE:
+    def test_bce_matches_manual(self):
+        p = np.array([0.9, 0.1])
+        t = np.array([1.0, 0.0])
+        expected = -(np.log(0.9) + np.log(0.9))
+        loss = bce_loss(Tensor(p), t, reduction="sum")
+        np.testing.assert_allclose(float(loss.data), expected, rtol=1e-10)
+
+    def test_bce_with_logits_matches_probability_space(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=10)
+        targets = (rng.random(10) > 0.5).astype(np.float64)
+        via_logits = float(bce_with_logits(Tensor(logits), targets).data)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        manual = float(-(targets * np.log(probs)
+                         + (1 - targets) * np.log(1 - probs)).sum())
+        np.testing.assert_allclose(via_logits, manual, rtol=1e-8)
+
+    def test_bce_with_logits_extreme_logits_finite(self):
+        loss = bce_with_logits(Tensor([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(float(loss.data))
+        np.testing.assert_allclose(float(loss.data), 0.0, atol=1e-10)
+
+    def test_bce_with_logits_grad(self):
+        rng = np.random.default_rng(1)
+        targets = (rng.random(8) > 0.5).astype(np.float64)
+        gradcheck(lambda x: bce_with_logits(x, targets), rng.normal(size=8))
+
+    def test_bce_grad(self):
+        rng = np.random.default_rng(2)
+        targets = (rng.random(6) > 0.5).astype(np.float64)
+        probs = rng.uniform(0.05, 0.95, size=6)
+        gradcheck(lambda x: bce_loss(x, targets), probs)
+
+    def test_masked_bce_ignores_unlabelled(self):
+        logits = Tensor(np.array([5.0, -5.0, 100.0]))
+        targets = np.array([1.0, 0.0, 0.0])   # third entry is wrong but masked
+        mask = np.array([1.0, 1.0, 0.0])
+        masked = float(masked_bce_with_logits(logits, targets, mask).data)
+        unmasked_pair = float(bce_with_logits(
+            Tensor(np.array([5.0, -5.0])), np.array([1.0, 0.0])).data)
+        np.testing.assert_allclose(masked, unmasked_pair, rtol=1e-10)
+
+    def test_reductions(self):
+        logits = Tensor(np.zeros(4))
+        targets = np.ones(4)
+        total = float(bce_with_logits(logits, targets, reduction="sum").data)
+        mean = float(bce_with_logits(logits, targets, reduction="mean").data)
+        np.testing.assert_allclose(total, 4 * mean)
+        none = bce_with_logits(logits, targets, reduction="none")
+        assert none.shape == (4,)
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(Tensor([0.0]), np.array([1.0]), reduction="median")
+
+    def test_mse(self):
+        loss = mse_loss(Tensor([1.0, 3.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(float(loss.data), 5.0)
+
+
+class TestSpmm:
+    def setup_method(self):
+        self.rng = np.random.default_rng(3)
+        dense = (self.rng.random((5, 5)) < 0.4).astype(np.float64)
+        self.matrix = sp.csr_matrix(dense)
+
+    def test_forward_matches_dense(self):
+        x = self.rng.normal(size=(5, 3))
+        out = spmm(self.matrix, Tensor(x))
+        np.testing.assert_allclose(out.data, self.matrix.toarray() @ x)
+
+    def test_gradient(self):
+        x = self.rng.normal(size=(5, 3))
+        gradcheck(lambda t: spmm(self.matrix, t), x)
+
+    def test_rejects_dense_left_operand(self):
+        with pytest.raises(TypeError):
+            spmm(np.eye(3), Tensor(np.ones((3, 2))))
+
+
+class TestAdjacencyNormalisation:
+    def test_symmetric_normalisation_row_sums(self):
+        adj = sp.csr_matrix(np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]],
+                                     dtype=np.float64))
+        norm = normalized_adjacency(adj)
+        # Symmetric and finite.
+        np.testing.assert_allclose(norm.toarray(), norm.toarray().T, atol=1e-12)
+        assert np.all(np.isfinite(norm.toarray()))
+
+    def test_self_loops_added(self):
+        adj = sp.csr_matrix((3, 3))
+        norm = normalized_adjacency(adj, add_self_loops=True)
+        np.testing.assert_allclose(norm.toarray(), np.eye(3))
+
+    def test_isolated_node_without_loops_gives_zero_row(self):
+        adj = sp.csr_matrix(np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]],
+                                     dtype=np.float64))
+        norm = normalized_adjacency(adj, add_self_loops=False)
+        np.testing.assert_allclose(norm.toarray()[2], 0.0)
+
+    def test_row_normalised_is_stochastic(self):
+        adj = sp.csr_matrix(np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]],
+                                     dtype=np.float64))
+        row_norm = row_normalized_adjacency(adj)
+        np.testing.assert_allclose(row_norm.toarray().sum(axis=1), np.ones(3))
+
+    def test_row_normalised_isolated_node(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=np.float64))
+        # Node 1 has outgoing sum 0 (after symmetrisation it wouldn't, but
+        # this matrix is used as given): row must be all-zero, not NaN.
+        row_norm = row_normalized_adjacency(sp.csr_matrix((2, 2)))
+        assert np.all(np.isfinite(row_norm.toarray()))

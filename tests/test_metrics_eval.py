@@ -1,0 +1,204 @@
+"""Tests for metrics, the evaluator and result reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SupervisedConfig, SupervisedGNN
+from repro.core import CGNPConfig, MetaTrainConfig
+from repro.baselines.cgnp_method import CGNPMethod
+from repro.eval import (
+    EvaluationResult,
+    Metrics,
+    binary_metrics,
+    community_metrics,
+    evaluate_method,
+    evaluate_methods,
+    format_generic_table,
+    format_metric_table,
+    format_time_table,
+    highlight_best_f1,
+    mean_metrics,
+)
+from repro.tasks import TaskSet
+from repro.utils import make_rng
+
+
+class TestBinaryMetrics:
+    def test_perfect_prediction(self):
+        actual = np.array([True, False, True, False])
+        m = binary_metrics(actual, actual)
+        assert m.accuracy == m.precision == m.recall == m.f1 == 1.0
+
+    def test_all_wrong(self):
+        predicted = np.array([True, False])
+        actual = np.array([False, True])
+        m = binary_metrics(predicted, actual)
+        assert m.accuracy == 0.0
+        assert m.f1 == 0.0
+
+    def test_known_values(self):
+        predicted = np.array([True, True, True, False, False])
+        actual = np.array([True, True, False, True, False])
+        m = binary_metrics(predicted, actual)
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.f1 == pytest.approx(2 / 3)
+        assert m.accuracy == pytest.approx(3 / 5)
+
+    def test_f1_is_harmonic_mean(self):
+        predicted = np.array([True] * 6 + [False] * 4)
+        actual = np.array([True, False] * 5)
+        m = binary_metrics(predicted, actual)
+        if m.precision + m.recall > 0:
+            expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert m.f1 == pytest.approx(expected)
+
+    def test_nothing_predicted_zero_division(self):
+        predicted = np.zeros(4, dtype=bool)
+        actual = np.array([True, False, False, False])
+        m = binary_metrics(predicted, actual)
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_no_actual_positives(self):
+        predicted = np.array([True, False])
+        actual = np.zeros(2, dtype=bool)
+        m = binary_metrics(predicted, actual)
+        assert m.recall == 0.0
+
+    def test_all_negative_prediction_high_accuracy(self):
+        """The imbalance pathology of Table II: predicting nothing gives
+        high accuracy but zero F1."""
+        actual = np.zeros(100, dtype=bool)
+        actual[:10] = True
+        predicted = np.zeros(100, dtype=bool)
+        m = binary_metrics(predicted, actual)
+        assert m.accuracy == 0.9
+        assert m.f1 == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_metrics(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            binary_metrics(np.zeros(0, dtype=bool), np.zeros(0, dtype=bool))
+
+
+class TestCommunityMetrics:
+    def test_query_excluded_from_scoring(self):
+        ground_truth = np.array([True, True, False, False])
+        # Prediction is exactly the query — scored masks are all-empty
+        # positives minus the query.
+        m = community_metrics([0], ground_truth, query=0)
+        assert m.recall == 0.0  # node 1 (the remaining member) missed
+
+    def test_perfect_community(self):
+        ground_truth = np.array([True, True, True, False])
+        m = community_metrics([0, 1, 2], ground_truth, query=0)
+        assert m.f1 == 1.0
+
+    def test_empty_prediction(self):
+        ground_truth = np.array([True, True, False])
+        m = community_metrics([], ground_truth, query=0)
+        assert m.f1 == 0.0
+
+    def test_mean_metrics(self):
+        a = Metrics(1.0, 1.0, 1.0, 1.0)
+        b = Metrics(0.0, 0.0, 0.0, 0.0)
+        mean = mean_metrics([a, b])
+        assert mean.f1 == 0.5
+
+    def test_mean_metrics_empty(self):
+        with pytest.raises(ValueError):
+            mean_metrics([])
+
+    def test_metrics_str_and_dict(self):
+        m = Metrics(0.5, 0.25, 0.75, 0.375)
+        assert "f1=0.3750" in str(m)
+        assert m.as_dict()["recall"] == 0.75
+
+
+class TestEvaluator:
+    @pytest.fixture
+    def task_set(self, tiny_tasks):
+        train, test = tiny_tasks
+        return TaskSet(name="fixture", train=list(train), valid=[],
+                       test=list(test))
+
+    def test_evaluate_method(self, task_set, rng):
+        method = CGNPMethod(CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                       dropout=0.0),
+                            MetaTrainConfig(epochs=3))
+        result = evaluate_method(method, task_set, rng)
+        assert 0.0 <= result.metrics.f1 <= 1.0
+        assert result.train_time > 0
+        assert result.test_time > 0
+        total_queries = sum(len(t.queries) for t in task_set.test)
+        assert len(result.per_query) == total_queries
+
+    def test_per_task_method_has_zero_train_time(self, task_set, rng):
+        method = SupervisedGNN(SupervisedConfig(hidden_dim=8, num_layers=2,
+                                                conv="gcn", dropout=0.0,
+                                                train_steps=3))
+        result = evaluate_method(method, task_set, rng)
+        assert result.train_time == 0.0
+        assert result.test_time > 0.0
+
+    def test_shot_truncation(self, task_set, rng):
+        method = SupervisedGNN(SupervisedConfig(hidden_dim=8, num_layers=2,
+                                                conv="gcn", dropout=0.0,
+                                                train_steps=3))
+        result = evaluate_method(method, task_set, rng, num_shots=1)
+        assert result.metrics.f1 >= 0.0  # runs without error
+
+    def test_evaluate_methods_multiple(self, task_set, rng):
+        methods = [
+            SupervisedGNN(SupervisedConfig(hidden_dim=8, num_layers=2,
+                                           conv="gcn", dropout=0.0,
+                                           train_steps=2)),
+            CGNPMethod(CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                  dropout=0.0), MetaTrainConfig(epochs=2)),
+        ]
+        results = evaluate_methods(methods, task_set, rng)
+        assert [r.method for r in results] == ["Supervised", "CGNP-IP"]
+
+    def test_row_format(self, task_set, rng):
+        method = SupervisedGNN(SupervisedConfig(hidden_dim=8, num_layers=2,
+                                                conv="gcn", dropout=0.0,
+                                                train_steps=2))
+        row = evaluate_method(method, task_set, rng).row()
+        assert set(row) == {"method", "acc", "pre", "rec", "f1",
+                            "train_time", "test_time"}
+
+
+class TestReporting:
+    def _results(self):
+        return [
+            EvaluationResult("A", Metrics(0.5, 0.5, 0.5, 0.5), 1.0, 0.1, []),
+            EvaluationResult("B", Metrics(0.9, 0.9, 0.9, 0.9), 2.0, 0.2, []),
+            EvaluationResult("C", Metrics(0.7, 0.7, 0.7, 0.7), 3.0, 0.3, []),
+        ]
+
+    def test_metric_table_contains_methods(self):
+        table = format_metric_table(self._results(), title="T")
+        assert "T" in table
+        for name in ("A", "B", "C"):
+            assert name in table
+
+    def test_best_f1_marked(self):
+        marks = highlight_best_f1(self._results())
+        assert marks == ["", " *", " +"]
+
+    def test_time_table(self):
+        table = format_time_table(self._results())
+        assert "TrainTime(s)" in table
+        assert "2.000" in table
+
+    def test_generic_table_mixed_types(self):
+        table = format_generic_table(["a", "b"], [["x", 0.5], ["y", 1.0]])
+        assert "0.5000" in table
+        assert "x" in table

@@ -1,0 +1,204 @@
+"""Tests for Module/Parameter bookkeeping, optimisers and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dropout,
+    Linear,
+    MLP,
+    Module,
+    ModuleList,
+    Parameter,
+    SGD,
+    Sequential,
+    Tensor,
+    clip_grad_norm,
+    load_state,
+    save_state,
+)
+
+
+class TinyModel(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(3, 4, rng)
+        self.second = Linear(4, 1, rng)
+
+    def forward(self, x):
+        return self.second(self.first(x).relu())
+
+
+class TestModule:
+    def test_parameter_registration(self, rng):
+        model = TinyModel(rng)
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["first.weight", "first.bias",
+                         "second.weight", "second.bias"]
+
+    def test_num_parameters(self, rng):
+        model = TinyModel(rng)
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 1 + 1
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        model = TinyModel(rng)
+        out = model(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        model = TinyModel(rng)
+        state = model.state_dict()
+        other = TinyModel(np.random.default_rng(999))
+        other.load_state_dict(state)
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(model(x).data, other(x).data)
+
+    def test_load_state_dict_missing_key(self, rng):
+        model = TinyModel(rng)
+        state = model.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        model = TinyModel(rng)
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_module_list(self, rng):
+        layers = ModuleList([Linear(2, 2, rng), Linear(2, 2, rng)])
+        assert len(layers) == 2
+        assert len(list(layers)) == 2
+        assert len([p for p in layers.parameters()]) == 4
+
+    def test_state_persistence_via_npz(self, rng, tmp_path):
+        model = TinyModel(rng)
+        path = str(tmp_path / "model.npz")
+        save_state(model.state_dict(), path)
+        restored = load_state(path)
+        other = TinyModel(np.random.default_rng(1))
+        other.load_state_dict(restored)
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(model(x).data, other(x).data)
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(2, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_validates_dims(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng)
+
+    def test_mlp_forward(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        out = mlp(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_mlp_needs_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_mlp_trains_xor(self, rng):
+        """An MLP must fit XOR — a sanity check of the whole stack."""
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        mlp = MLP([2, 16, 1], rng)
+        optimizer = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            pred = mlp(Tensor(x)).reshape(-1).sigmoid()
+            loss = ((pred - Tensor(y)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        final = mlp(Tensor(x)).reshape(-1).sigmoid().data
+        assert np.all((final > 0.5) == y.astype(bool))
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_problem():
+        """min ||Xw - y||² with a known solution."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 3))
+        w_true = np.array([1.0, -2.0, 0.5])
+        y = x @ w_true
+        return x, y, w_true
+
+    def _run(self, optimizer_factory, steps=500):
+        x, y, w_true = self._quadratic_problem()
+        w = Parameter(np.zeros(3))
+        optimizer = optimizer_factory([w])
+        for _ in range(steps):
+            optimizer.zero_grad()
+            residual = Tensor(x).matmul(w) - Tensor(y)
+            loss = (residual * residual).mean()
+            loss.backward()
+            optimizer.step()
+        return w.data, w_true
+
+    def test_sgd_converges(self):
+        w, w_true = self._run(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(w, w_true, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        w, w_true = self._run(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(w, w_true, atol=1e-3)
+
+    def test_adam_converges(self):
+        w, w_true = self._run(lambda p: Adam(p, lr=0.05))
+        np.testing.assert_allclose(w, w_true, atol=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        w_plain, _ = self._run(lambda p: SGD(p, lr=0.1))
+        w_decayed, _ = self._run(lambda p: SGD(p, lr=0.1, weight_decay=1.0))
+        assert np.linalg.norm(w_decayed) < np.linalg.norm(w_plain)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(2))
+        optimizer = SGD([p], lr=0.1)
+        optimizer.step()  # no grad — must not crash or move the parameter
+        np.testing.assert_allclose(p.data, [1.0, 1.0])
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_clip_grad_norm_under_limit_untouched(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])

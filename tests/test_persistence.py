@@ -1,0 +1,97 @@
+"""Tests for task-set persistence (save/load round-trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CGNP, CGNPConfig, MetaTrainConfig, meta_train, task_loss
+from repro.tasks import (
+    ScenarioConfig,
+    TaskSet,
+    load_task_set,
+    make_scenario,
+    save_task_set,
+)
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def task_set(tiny_tasks):
+    train, test = tiny_tasks
+    return TaskSet(name="roundtrip", train=list(train), valid=[list(test)[0]],
+                   test=list(test))
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, task_set, tmp_path):
+        path = str(tmp_path / "tasks.npz")
+        save_task_set(task_set, path)
+        loaded = load_task_set(path)
+        assert loaded.name == "roundtrip"
+        assert len(loaded.train) == len(task_set.train)
+        assert len(loaded.valid) == len(task_set.valid)
+        assert len(loaded.test) == len(task_set.test)
+
+    def test_graphs_identical(self, task_set, tmp_path):
+        path = str(tmp_path / "tasks.npz")
+        save_task_set(task_set, path)
+        loaded = load_task_set(path)
+        for original, restored in zip(task_set.train, loaded.train):
+            np.testing.assert_array_equal(original.graph.edges,
+                                          restored.graph.edges)
+            np.testing.assert_allclose(original.graph.attributes,
+                                       restored.graph.attributes)
+            assert original.graph.num_communities == \
+                restored.graph.num_communities
+
+    def test_examples_identical(self, task_set, tmp_path):
+        path = str(tmp_path / "tasks.npz")
+        save_task_set(task_set, path)
+        loaded = load_task_set(path)
+        for original, restored in zip(task_set.test, loaded.test):
+            for a, b in zip(original.support + original.queries,
+                            restored.support + restored.queries):
+                assert a.query == b.query
+                np.testing.assert_array_equal(a.positives, b.positives)
+                np.testing.assert_array_equal(a.negatives, b.negatives)
+                np.testing.assert_array_equal(a.membership, b.membership)
+
+    def test_feature_config_preserved(self, task_set, tmp_path):
+        for task in task_set.train:
+            task.use_attributes = False
+        path = str(tmp_path / "tasks.npz")
+        save_task_set(task_set, path)
+        loaded = load_task_set(path)
+        assert all(not t.use_attributes for t in loaded.train)
+
+    def test_features_match_after_reload(self, task_set, tmp_path):
+        path = str(tmp_path / "tasks.npz")
+        save_task_set(task_set, path)
+        loaded = load_task_set(path)
+        np.testing.assert_allclose(task_set.train[0].features(),
+                                   loaded.train[0].features())
+
+    def test_model_loss_identical_on_reloaded_tasks(self, task_set, tmp_path):
+        """The decisive check: a model sees exactly the same task."""
+        path = str(tmp_path / "tasks.npz")
+        save_task_set(task_set, path)
+        loaded = load_task_set(path)
+        rng = make_rng(0)
+        model = CGNP(task_set.train[0].features().shape[1],
+                     CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                                dropout=0.0), rng)
+        original_loss = float(task_loss(model, task_set.train[0]).data)
+        reloaded_loss = float(task_loss(model, loaded.train[0]).data)
+        assert original_loss == pytest.approx(reloaded_loss, rel=1e-12)
+
+    def test_scenario_roundtrip(self, tmp_path):
+        config = ScenarioConfig(num_train_tasks=2, num_valid_tasks=1,
+                                num_test_tasks=1, subgraph_nodes=40,
+                                num_support=2, num_query=2, seed=3)
+        tasks = make_scenario("sgsc", "cora", config, scale=0.2)
+        path = str(tmp_path / "scenario.npz")
+        save_task_set(tasks, path)
+        loaded = load_task_set(path)
+        assert loaded.name == tasks.name
+        assert loaded.train[0].graph.parent_nodes is not None

@@ -1,0 +1,269 @@
+"""Unit tests for the autograd Tensor: every op's forward values and exact
+gradients against central finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, no_grad, is_grad_enabled, zeros, ones, full
+
+from helpers import gradcheck, gradcheck_multi
+
+
+class TestConstruction:
+    def test_wraps_arrays_as_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_preserves_float32(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.dtype == np.float32
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_factories(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(4).data.sum() == 4.0
+        assert full((2, 2), 7.0).data[0, 0] == 7.0
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_item(self):
+        assert Tensor([[3.5]]).item() == 3.5
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 2)))
+        assert len(t) == 4
+        assert t.size == 8
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_shape_check(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward(np.ones(3))
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3).backward(np.ones(1))
+        (t * 3).backward(np.ones(1))
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_diamond_graph_gradient(self):
+        # y = x*x + x*x must give dy/dx = 4x (shared subexpression).
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        y = a + a
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_no_grad_disables_taping(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).backward(np.ones(1))
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+        self.a = self.rng.normal(size=(3, 4))
+        self.b = self.rng.normal(size=(3, 4)) + 2.5  # keep away from 0 for div
+
+    def test_add(self):
+        gradcheck_multi(lambda x, y: x + y, self.a, self.b)
+
+    def test_add_broadcast(self):
+        gradcheck_multi(lambda x, y: x + y, self.a, self.rng.normal(size=(4,)))
+
+    def test_sub(self):
+        gradcheck_multi(lambda x, y: x - y, self.a, self.b)
+
+    def test_rsub_scalar(self):
+        gradcheck(lambda x: 1.0 - x, self.a)
+
+    def test_mul(self):
+        gradcheck_multi(lambda x, y: x * y, self.a, self.b)
+
+    def test_mul_broadcast_column(self):
+        gradcheck_multi(lambda x, y: x * y, self.a,
+                        self.rng.normal(size=(3, 1)))
+
+    def test_div(self):
+        gradcheck_multi(lambda x, y: x / y, self.a, self.b)
+
+    def test_rdiv_scalar(self):
+        gradcheck(lambda x: 2.0 / x, self.b)
+
+    def test_neg(self):
+        gradcheck(lambda x: -x, self.a)
+
+    def test_pow(self):
+        gradcheck(lambda x: x ** 3, self.a)
+        gradcheck(lambda x: x ** 0.5, np.abs(self.a) + 1.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestMatmulGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(1)
+
+    def test_2d_2d(self):
+        a = self.rng.normal(size=(3, 4))
+        b = self.rng.normal(size=(4, 5))
+        gradcheck_multi(lambda x, y: x.matmul(y), a, b)
+
+    def test_1d_1d_dot(self):
+        a = self.rng.normal(size=(6,))
+        b = self.rng.normal(size=(6,))
+        gradcheck_multi(lambda x, y: x.matmul(y), a, b)
+
+    def test_2d_1d(self):
+        a = self.rng.normal(size=(3, 4))
+        b = self.rng.normal(size=(4,))
+        gradcheck_multi(lambda x, y: x.matmul(y), a, b)
+
+    def test_1d_2d(self):
+        a = self.rng.normal(size=(4,))
+        b = self.rng.normal(size=(4, 3))
+        gradcheck_multi(lambda x, y: x.matmul(y), a, b)
+
+    def test_batched(self):
+        a = self.rng.normal(size=(5, 3, 4))
+        b = self.rng.normal(size=(5, 4, 2))
+        gradcheck_multi(lambda x, y: x.matmul(y), a, b)
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[2.0, 0.0], [0.0, 2.0]])
+        np.testing.assert_allclose((a @ b).data, 2 * np.eye(2))
+
+
+class TestReductionGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(2)
+        self.a = self.rng.normal(size=(4, 5))
+
+    def test_sum_all(self):
+        gradcheck(lambda x: x.sum(), self.a)
+
+    def test_sum_axis(self):
+        gradcheck(lambda x: x.sum(axis=0), self.a)
+        gradcheck(lambda x: x.sum(axis=1, keepdims=True), self.a)
+
+    def test_mean(self):
+        gradcheck(lambda x: x.mean(), self.a)
+        gradcheck(lambda x: x.mean(axis=1), self.a)
+
+    def test_max_unique(self):
+        # Distinct entries avoid tie-splitting ambiguity vs finite diffs.
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        gradcheck(lambda x: x.max(), a)
+        gradcheck(lambda x: x.max(axis=0), a)
+
+    def test_max_tie_splits_gradient(self):
+        x = Tensor([2.0, 2.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+    def test_min(self):
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        gradcheck(lambda x: x.min(axis=1), a)
+
+
+class TestElementwiseGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(3)
+        self.a = self.rng.normal(size=(3, 4))
+
+    def test_exp(self):
+        gradcheck(lambda x: x.exp(), self.a)
+
+    def test_log(self):
+        gradcheck(lambda x: x.log(), np.abs(self.a) + 0.5)
+
+    def test_sigmoid(self):
+        gradcheck(lambda x: x.sigmoid(), self.a)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor([1000.0, -1000.0]).sigmoid()
+        np.testing.assert_allclose(out.data, [1.0, 0.0], atol=1e-12)
+        assert np.all(np.isfinite(out.data))
+
+    def test_tanh(self):
+        gradcheck(lambda x: x.tanh(), self.a)
+
+    def test_relu(self):
+        # Keep inputs away from the kink at 0.
+        a = self.a.copy()
+        a[np.abs(a) < 0.1] = 0.5
+        gradcheck(lambda x: x.relu(), a)
+
+    def test_abs(self):
+        a = self.a.copy()
+        a[np.abs(a) < 0.1] = 0.5
+        gradcheck(lambda x: x.abs(), a)
+
+    def test_sqrt(self):
+        gradcheck(lambda x: x.sqrt(), np.abs(self.a) + 1.0)
+
+    def test_clip(self):
+        a = np.linspace(-2, 2, 12).reshape(3, 4) + 0.013  # avoid boundaries
+        gradcheck(lambda x: x.clip(-1.0, 1.0), a)
+
+
+class TestShapeGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(4)
+        self.a = self.rng.normal(size=(2, 3, 4))
+
+    def test_reshape(self):
+        gradcheck(lambda x: x.reshape(6, 4), self.a)
+        gradcheck(lambda x: x.reshape(-1), self.a)
+
+    def test_transpose_default(self):
+        gradcheck(lambda x: x.T, self.rng.normal(size=(3, 5)))
+
+    def test_transpose_axes(self):
+        gradcheck(lambda x: x.transpose(1, 0, 2), self.a)
+
+    def test_swapaxes(self):
+        gradcheck(lambda x: x.swapaxes(0, 2), self.a)
+
+    def test_squeeze_unsqueeze(self):
+        gradcheck(lambda x: x.unsqueeze(1), self.rng.normal(size=(3, 4)))
+        gradcheck(lambda x: x.squeeze(0), self.rng.normal(size=(1, 5)))
+
+    def test_getitem_slice(self):
+        gradcheck(lambda x: x[1:, :2], self.rng.normal(size=(4, 4)))
+
+    def test_take_rows_with_repeats(self):
+        index = np.array([0, 2, 2, 1])
+        gradcheck(lambda x: x.take_rows(index), self.rng.normal(size=(3, 4)))
+
+    def test_take_rows_forward(self):
+        t = Tensor(np.arange(6).reshape(3, 2))
+        out = t.take_rows(np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[4, 5], [0, 1]])
