@@ -16,9 +16,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import CGNPConfig, MetaTrainConfig
-from repro.baselines import CGNPMethod
-from repro.eval import evaluate_method, format_metric_table, run_ablation
+from repro.eval import (
+    build_method,
+    evaluate_method,
+    format_metric_table,
+    run_ablation,
+)
 from repro.tasks import ScenarioConfig, make_scenario
 
 from conftest import print_paper_shape_note
@@ -67,11 +70,8 @@ def test_structural_feature_ablation(benchmark, profile):
             for task in tasks.train + tasks.valid + tasks.test:
                 task.use_structural = use_structural
                 task._features = None  # invalidate cache
-            method = CGNPMethod(
-                CGNPConfig(hidden_dim=profile.hidden_dim,
-                           num_layers=profile.num_layers, conv="gat"),
-                MetaTrainConfig(epochs=profile.cgnp_epochs), seed=3,
-                name=f"CGNP-IP[{label}]")
+            method = build_method("CGNP-IP", profile, seed=3)
+            method.name = f"CGNP-IP[{label}]"
             outcomes.append(evaluate_method(method, tasks,
                                             np.random.default_rng(3)))
         return outcomes

@@ -1,32 +1,39 @@
-"""Quickstart: meta-train a CGNP and answer community-search queries.
+"""Quickstart: meta-train a CGNP, ship it as a bundle, serve queries.
 
-This walks the full pipeline on a small Cora-like citation network:
+This walks the paper's *deploy-once, query-many* pipeline end to end on a
+small Cora-like citation network, using the ``repro.api`` surface:
 
-1. build a dataset with ground-truth communities;
-2. sample training/test tasks (Single Graph, Shared Communities);
-3. meta-train a CGNP (Algorithm 1);
-4. answer held-out queries with one forward pass each (Algorithm 2);
+1. build a dataset and sample tasks (Single Graph, Shared Communities);
+2. instantiate CGNP through the :class:`MethodRegistry` and meta-train it
+   (Algorithm 1);
+3. save a self-describing :class:`ModelBundle` — weights + architecture +
+   provenance in one ``.npz``;
+4. reload it into a :class:`CommunitySearchEngine` session (no
+   architecture flags needed) and answer a whole batch of queries with
+   one cached context encoding and one batched decoder pass (Algorithm 2);
 5. score the found communities against the ground truth.
 
 Run:  python examples/quickstart.py
 """
 
+import os
+import tempfile
+
 from repro import (
-    CGNP,
-    CGNPConfig,
-    MetaTrainConfig,
+    CommunitySearchEngine,
+    MethodSpec,
+    ModelBundle,
     ScenarioConfig,
     community_metrics,
+    create_method,
     make_rng,
     make_scenario,
-    meta_test_task,
-    meta_train,
 )
 from repro.eval import mean_metrics
 
 
 def main() -> None:
-    # 1-2. Dataset + tasks.  Each task is a 100-node BFS subgraph with
+    # 1. Dataset + tasks.  Each task is a 100-node BFS subgraph with
     # 3 support queries (partial ground truth) and 6 held-out queries.
     config = ScenarioConfig(
         num_train_tasks=12, num_valid_tasks=3, num_test_tasks=4,
@@ -34,38 +41,55 @@ def main() -> None:
     tasks = make_scenario("sgsc", "cora", config, scale=0.5)
     print(tasks.summary())
 
-    # 3. The meta model: GAT encoder, sum aggregation, inner-product decoder.
-    rng = make_rng(0)
-    in_dim = tasks.train[0].features().shape[1]
-    model = CGNP(in_dim, CGNPConfig(hidden_dim=64, num_layers=2, conv="gat",
-                                    aggregator="sum", decoder="ip"), rng)
-    print(model.describe())
+    # 2. Resolve the method by its paper name.  Any registered method
+    # ("MAML", "CTC", "CGNP-GNN", ...) builds from the same spec.
+    spec = MethodSpec(name="CGNP-IP", hidden_dim=64, num_layers=2,
+                      conv="gat", aggregator="sum", cgnp_epochs=40)
+    method = create_method(spec)
+    method.meta_fit(tasks.train, tasks.valid, make_rng(0))
+    print(method.model.describe())
 
-    state = meta_train(model, tasks.train,
-                       MetaTrainConfig(epochs=40, learning_rate=1e-3),
-                       rng, valid_tasks=tasks.valid)
-    print(f"meta-trained {len(state.epoch_losses)} epochs, "
-          f"loss {state.epoch_losses[0]:.4f} -> {state.epoch_losses[-1]:.4f}")
+    # 3. One self-describing checkpoint: weights + config + provenance.
+    bundle_path = os.path.join(tempfile.mkdtemp(prefix="cgnp-quickstart-"),
+                               "model.npz")
+    ModelBundle.from_model(method.model, provenance={
+        "dataset": "cora", "scenario": "sgsc", "example": "quickstart",
+    }).save(bundle_path)
 
-    # 4-5. Answer the held-out queries of every test task and score them.
+    # 4. Serve.  The engine rebuilds the model from the bundle alone,
+    # encodes each attached task's support set once, and answers query
+    # batches with a single batched decoder pass.
+    engine = CommunitySearchEngine.from_bundle(bundle_path)
+    print(f"loaded {engine.bundle.describe()}")
+
     scores = []
     for task in tasks.test:
-        for prediction in meta_test_task(model, task):
-            metrics = community_metrics(prediction.members,
-                                        prediction.ground_truth,
-                                        prediction.query)
-            scores.append(metrics)
-    summary = mean_metrics(scores)
+        engine.attach(task)
+        queries = [example.query for example in task.queries]
+        communities = engine.query(queries)
+        for example in task.queries:
+            scores.append(community_metrics(communities[example.query],
+                                            example.membership,
+                                            example.query))
     print(f"\nheld-out queries: {len(scores)}")
-    print(f"mean metrics: {summary}")
+    print(f"mean metrics: {mean_metrics(scores)}")
+
+    # 5. Serving counters: 4 tasks attached => exactly 4 context
+    # encodings, however many queries were answered.
+    stats = engine.stats()
+    print(f"\nengine stats: {stats.queries_served} queries in "
+          f"{stats.batches_served} batches, "
+          f"{stats.contexts_encoded} context encodings, "
+          f"{stats.queries_per_second:,.0f} queries/s on the decode path")
 
     # Show one concrete answer.
     task = tasks.test[0]
-    prediction = meta_test_task(model, task)[0]
-    truth = set(int(v) for v in prediction.ground_truth.nonzero()[0])
-    print(f"\nexample query node {prediction.query} on task {task.name!r}:")
-    print(f"  predicted community ({len(prediction.members)} nodes): "
-          f"{sorted(prediction.members.tolist())[:15]}...")
+    query = task.queries[0].query
+    members = engine.query(query, task=task)
+    truth = {int(v) for v in task.queries[0].membership.nonzero()[0]}
+    print(f"\nexample query node {query} on task {task.name!r}:")
+    print(f"  predicted community ({len(members)} nodes): "
+          f"{sorted(members.tolist())[:15]}...")
     print(f"  ground-truth community has {len(truth)} nodes")
 
 

@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.1.0",
+    version="0.2.0",
     description=(
         "CGNP: Community Search via Conditional Graph Neural Processes — "
         "a from-scratch reproduction of Fang et al., ICDE 2023"

@@ -6,21 +6,54 @@ framework of Fang, Zhao, Li & Yu, including the full neural substrate
 synthetic datasets with ground-truth communities), every compared baseline,
 and a harness regenerating each table and figure of the paper.
 
+The public surface is organised around the paper's *deploy-once,
+query-many* regime (``repro.api``): a :class:`MethodRegistry` resolving
+every paper method name, self-describing :class:`ModelBundle` checkpoints,
+and the :class:`CommunitySearchEngine` session facade that caches a task's
+context encoding and answers query batches with one decoder pass.
+
 Quickstart
 ----------
->>> from repro import (CGNP, CGNPConfig, MetaTrainConfig, meta_train,
-...                    meta_test_task, make_scenario, ScenarioConfig, make_rng)
+>>> from repro import (CommunitySearchEngine, MethodSpec, ModelBundle,
+...                    ScenarioConfig, create_method, make_rng, make_scenario)
 >>> config = ScenarioConfig(num_train_tasks=8, num_valid_tasks=2,
 ...                         num_test_tasks=2, subgraph_nodes=60, num_query=5)
 >>> tasks = make_scenario("sgsc", "cora", config, scale=0.25)
->>> rng = make_rng(0)
->>> model = CGNP(tasks.train[0].features().shape[1],
-...              CGNPConfig(hidden_dim=32, num_layers=2), rng)
->>> _ = meta_train(model, tasks.train, MetaTrainConfig(epochs=10), rng)
->>> predictions = meta_test_task(model, tasks.test[0])
+>>> method = create_method(MethodSpec(name="CGNP-IP", hidden_dim=32,
+...                                   num_layers=2, cgnp_epochs=10))
+>>> method.meta_fit(tasks.train, tasks.valid, make_rng(0))
+>>> _ = ModelBundle.from_model(method.model).save("model.npz")   # doctest: +SKIP
+>>> engine = CommunitySearchEngine(method.model).attach(tasks.test[0])
+>>> community = engine.query(tasks.test[0].queries[0].query)
+
+The pre-registry entry points (``meta_train``/``meta_test_task``/
+``predict_memberships``, direct :class:`CGNP` construction) remain
+first-class exports.
 """
 
-from . import algorithms, baselines, core, datasets, eval, gnn, graph, nn, tasks, utils
+from . import (
+    algorithms,
+    api,
+    baselines,
+    core,
+    datasets,
+    eval,
+    gnn,
+    graph,
+    nn,
+    tasks,
+    utils,
+)
+from .api import (
+    CommunitySearchEngine,
+    EngineStats,
+    MethodRegistry,
+    MethodSpec,
+    ModelBundle,
+    available_methods,
+    create_method,
+    register_method,
+)
 from .core import (
     CGNP,
     CGNPConfig,
@@ -41,7 +74,7 @@ from .graph import Graph
 from .tasks import QueryExample, ScenarioConfig, Task, TaskSet, make_scenario
 from .utils import make_rng
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "nn",
@@ -54,6 +87,15 @@ __all__ = [
     "algorithms",
     "eval",
     "utils",
+    "api",
+    "CommunitySearchEngine",
+    "EngineStats",
+    "ModelBundle",
+    "MethodRegistry",
+    "MethodSpec",
+    "register_method",
+    "create_method",
+    "available_methods",
     "CGNP",
     "CGNPConfig",
     "MetaTrainConfig",

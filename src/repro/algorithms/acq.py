@@ -114,3 +114,15 @@ class AttributedCommunityQuery(CommunitySearchMethod):
                 ground_truth=example.membership,
             ))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("ACQ", rank=1)
+def _build_acq(spec: MethodSpec) -> AttributedCommunityQuery:
+    """Registry factory (a graph algorithm: budget knobs are irrelevant)."""
+    return AttributedCommunityQuery()

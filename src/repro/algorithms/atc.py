@@ -117,3 +117,15 @@ class AttributedTrussCommunity(CommunitySearchMethod):
                 ground_truth=example.membership,
             ))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("ATC", rank=0)
+def _build_atc(spec: MethodSpec) -> AttributedTrussCommunity:
+    """Registry factory (a graph algorithm: budget knobs are irrelevant)."""
+    return AttributedTrussCommunity()

@@ -112,3 +112,15 @@ class ClosestTrussCommunity(CommunitySearchMethod):
                 ground_truth=example.membership,
             ))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("CTC", rank=2)
+def _build_ctc(spec: MethodSpec) -> ClosestTrussCommunity:
+    """Registry factory (a graph algorithm: budget knobs are irrelevant)."""
+    return ClosestTrussCommunity()

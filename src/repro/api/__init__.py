@@ -1,0 +1,39 @@
+"""``repro.api`` — the serving-oriented public surface.
+
+Three pillars (see each module's docstring):
+
+* :mod:`~repro.api.registry` — string-spec method registry mapping every
+  paper method name to a factory;
+* :mod:`~repro.api.bundle` — self-describing checkpoint bundles (weights
+  + config + feature schema + provenance in one ``.npz``);
+* :mod:`~repro.api.engine` — the session facade that caches context
+  encodings and serves batched queries.
+"""
+
+from .bundle import BUNDLE_FORMAT, BUNDLE_HEADER_KEY, BUNDLE_VERSION, ModelBundle
+from .engine import CommunitySearchEngine, EngineStats
+from .registry import (
+    DEFAULT_REGISTRY,
+    MethodRegistry,
+    MethodSpec,
+    available_methods,
+    create_method,
+    method_factory,
+    register_method,
+)
+
+__all__ = [
+    "ModelBundle",
+    "BUNDLE_FORMAT",
+    "BUNDLE_HEADER_KEY",
+    "BUNDLE_VERSION",
+    "CommunitySearchEngine",
+    "EngineStats",
+    "MethodRegistry",
+    "MethodSpec",
+    "DEFAULT_REGISTRY",
+    "register_method",
+    "create_method",
+    "method_factory",
+    "available_methods",
+]

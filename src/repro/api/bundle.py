@@ -1,0 +1,206 @@
+"""Self-describing model checkpoints.
+
+A :class:`ModelBundle` is a single ``.npz`` file holding a model's weights
+*plus* everything needed to rebuild and serve it — the
+:class:`~repro.core.model.CGNPConfig`, the feature schema (raw input
+dimensionality and which feature channels the model was trained on), the
+method name, and free-form training provenance (dataset, epochs, final
+loss, …).  The metadata travels as a JSON header embedded in a reserved
+archive entry, so a bundle is still a plain numpy archive that external
+tools can inspect.
+
+This replaces the bare weight arrays written by
+:mod:`repro.nn.serialize`: with a bundle, ``repro.cli query`` and
+:meth:`CommunitySearchEngine.from_bundle
+<repro.api.engine.CommunitySearchEngine.from_bundle>` need no
+architecture flags at load time.  Legacy weight-only ``.npz`` files still
+load (``is_legacy`` is then true) but the caller must supply the
+architecture when building the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.model import CGNP, CGNPConfig
+from ..nn.serialize import load_state, save_state
+from ..utils import make_rng
+
+__all__ = ["ModelBundle", "BUNDLE_HEADER_KEY", "BUNDLE_FORMAT", "BUNDLE_VERSION"]
+
+#: Reserved archive entry holding the JSON header.
+BUNDLE_HEADER_KEY = "__repro_bundle__"
+#: Format tag guarding against foreign archives with a colliding entry.
+BUNDLE_FORMAT = "repro/model-bundle"
+#: Bump when the header layout changes incompatibly.
+BUNDLE_VERSION = 1
+
+
+def _config_from_payload(payload: Optional[Dict[str, Any]]) -> Optional[CGNPConfig]:
+    """Rebuild a config from a header dict, ignoring unknown fields.
+
+    Dropping unrecognised keys keeps old readers working on bundles
+    written by newer code that added config fields.
+    """
+    if payload is None:
+        return None
+    known = {field.name for field in dataclasses.fields(CGNPConfig)}
+    return CGNPConfig(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclasses.dataclass
+class ModelBundle:
+    """Weights plus the metadata needed to rebuild and serve the model.
+
+    Attributes
+    ----------
+    state:
+        The model's ``state_dict`` (dotted parameter name → array).
+    config:
+        Architecture of the saved model; ``None`` for legacy weight-only
+        checkpoints.
+    in_dim:
+        Raw node-feature dimensionality the model was built for
+        (excluding the indicator channel); ``None`` for legacy files.
+    method:
+        Registry-style method name (e.g. ``"CGNP-IP"``).
+    feature_schema:
+        How task features must be built to match the weights
+        (``in_dim``, ``use_attributes``, ``use_structural``).
+    provenance:
+        Free-form training lineage (dataset, epochs, final loss, seed…).
+    version:
+        Header format version this bundle was read from / written at.
+    """
+
+    state: Dict[str, np.ndarray]
+    config: Optional[CGNPConfig] = None
+    in_dim: Optional[int] = None
+    method: str = "CGNP"
+    feature_schema: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    provenance: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    version: int = BUNDLE_VERSION
+
+    @property
+    def is_legacy(self) -> bool:
+        """True when the file carried no header (bare weight arrays)."""
+        return self.config is None or self.in_dim is None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: CGNP, method: Optional[str] = None,
+                   provenance: Optional[Dict[str, Any]] = None) -> "ModelBundle":
+        """Snapshot ``model`` into a bundle (weights are copied)."""
+        config = dataclasses.replace(model.config)
+        schema = {
+            "in_dim": int(model.in_dim),
+            "use_attributes": config.use_attributes,
+            "use_structural": config.use_structural,
+        }
+        return cls(
+            state=model.state_dict(),
+            config=config,
+            in_dim=int(model.in_dim),
+            method=method or f"CGNP-{config.decoder.upper()}",
+            feature_schema=schema,
+            provenance=dict(provenance or {}),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def header(self) -> Dict[str, Any]:
+        """The JSON-serialisable metadata header."""
+        return {
+            "format": BUNDLE_FORMAT,
+            "version": self.version,
+            "method": self.method,
+            "in_dim": self.in_dim,
+            "config": dataclasses.asdict(self.config) if self.config else None,
+            "feature_schema": self.feature_schema,
+            "provenance": self.provenance,
+        }
+
+    def save(self, path: str) -> str:
+        """Write the bundle to ``path`` (npz with an embedded header)."""
+        if BUNDLE_HEADER_KEY in self.state:
+            raise ValueError(
+                f"state dict uses the reserved key {BUNDLE_HEADER_KEY!r}")
+        payload: Dict[str, np.ndarray] = dict(self.state)
+        # default=str keeps exotic provenance values (paths, numpy
+        # scalars) from aborting the save.
+        header_json = json.dumps(self.header(), default=str)
+        payload[BUNDLE_HEADER_KEY] = np.asarray(header_json)
+        save_state(payload, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ModelBundle":
+        """Read a bundle; weight-only archives fall back to legacy mode."""
+        state = load_state(path)
+        raw_header = state.pop(BUNDLE_HEADER_KEY, None)
+        if raw_header is None:
+            return cls(state=state,
+                       provenance={"legacy_format": True,
+                                   "path": os.path.abspath(path)})
+        header = json.loads(str(raw_header))
+        if header.get("format") != BUNDLE_FORMAT:
+            raise ValueError(
+                f"{path}: unrecognised bundle format {header.get('format')!r}")
+        version = int(header.get("version", 0))
+        if version > BUNDLE_VERSION:
+            raise ValueError(
+                f"{path}: bundle version {version} is newer than the "
+                f"supported version {BUNDLE_VERSION}; upgrade repro")
+        in_dim = header.get("in_dim")
+        return cls(
+            state=state,
+            config=_config_from_payload(header.get("config")),
+            in_dim=None if in_dim is None else int(in_dim),
+            method=header.get("method", "CGNP"),
+            feature_schema=header.get("feature_schema") or {},
+            provenance=header.get("provenance") or {},
+            version=version,
+        )
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def build_model(self, rng: Optional[np.random.Generator] = None,
+                    config: Optional[CGNPConfig] = None,
+                    in_dim: Optional[int] = None) -> CGNP:
+        """Rebuild the saved model, in eval mode, weights restored.
+
+        ``config`` / ``in_dim`` override the stored values — required for
+        legacy checkpoints, which carry neither.
+        """
+        config = config or self.config
+        if in_dim is None:
+            in_dim = self.in_dim
+        if config is None or in_dim is None:
+            raise ValueError(
+                "legacy checkpoint without an embedded architecture: pass "
+                "config= and in_dim= explicitly (or re-save the model as a "
+                "ModelBundle)")
+        model = CGNP(int(in_dim), config, rng if rng is not None else make_rng(0))
+        model.load_state_dict(self.state)
+        model.eval()
+        return model
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        if self.is_legacy:
+            return "legacy checkpoint (no embedded architecture)"
+        c = self.config
+        origin = self.provenance.get("dataset")
+        suffix = f", trained on {origin}" if origin else ""
+        return (f"{self.method} bundle v{self.version} (in_dim={self.in_dim}, "
+                f"conv={c.conv}, dec={c.decoder}, layers={c.num_layers}, "
+                f"hidden={c.hidden_dim}{suffix})")

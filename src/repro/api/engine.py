@@ -1,0 +1,250 @@
+"""Session-style serving facade for community search.
+
+The paper's CGNP is a *deploy-once, query-many* system: meta-train
+offline, then answer arbitrary queries online with one decoder pass
+(Algorithm 2).  :class:`CommunitySearchEngine` is the serving surface for
+that regime:
+
+* ``Engine.from_bundle(path)`` rebuilds the model from a self-describing
+  :class:`~repro.api.bundle.ModelBundle` — no architecture flags;
+* ``engine.attach(task)`` encodes the task's support set into the context
+  matrix **once** and caches it (an LRU holds the most recent tasks, so
+  one engine can serve several graphs);
+* ``engine.query(nodes)`` answers any number of query nodes with a single
+  *batched* decoder pass over the cached context;
+* ``engine.stats()`` reports queries served, cache hits/misses and
+  encode/decode latency.
+
+>>> engine = CommunitySearchEngine.from_bundle("model.npz").attach(task)
+>>> community = engine.query(42)                  # ndarray of node ids
+>>> communities = engine.query([3, 7, 42])        # {node: ndarray}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.infer import validate_queries
+from ..core.model import CGNP
+from ..nn.tensor import Tensor, no_grad
+from ..tasks.task import Task
+from .bundle import ModelBundle
+
+__all__ = ["CommunitySearchEngine", "EngineStats"]
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Serving counters and timers of one engine."""
+
+    queries_served: int = 0
+    batches_served: int = 0
+    contexts_encoded: int = 0
+    context_cache_hits: int = 0
+    context_cache_misses: int = 0
+    contexts_evicted: int = 0
+    context_seconds: float = 0.0
+    decode_seconds: float = 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Decoder throughput (excludes context encoding, which amortises)."""
+        if self.decode_seconds <= 0.0:
+            return 0.0
+        return self.queries_served / self.decode_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["queries_per_second"] = self.queries_per_second
+        return data
+
+
+class CommunitySearchEngine:
+    """A persistent serving session around one meta-trained CGNP.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.model.CGNP`; switched to eval mode.
+    threshold:
+        Default membership probability threshold (overridable per query).
+    max_cached_contexts:
+        How many per-task context matrices to keep (LRU eviction).
+    """
+
+    def __init__(self, model: CGNP, threshold: float = 0.5,
+                 max_cached_contexts: int = 8):
+        if max_cached_contexts < 1:
+            raise ValueError("max_cached_contexts must be >= 1")
+        model.eval()
+        self.model = model
+        self.threshold = float(threshold)
+        self.max_cached_contexts = int(max_cached_contexts)
+        self.bundle: Optional[ModelBundle] = None
+        self._contexts: "OrderedDict[Task, Tensor]" = OrderedDict()
+        self._active: Optional[Task] = None
+        self._stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bundle(cls, bundle: Union[str, "os.PathLike[str]", ModelBundle],
+                    threshold: float = 0.5, max_cached_contexts: int = 8,
+                    rng: Optional[np.random.Generator] = None,
+                    ) -> "CommunitySearchEngine":
+        """Build an engine from a saved :class:`ModelBundle` (or its path)."""
+        if not isinstance(bundle, ModelBundle):
+            bundle = ModelBundle.load(os.fspath(bundle))
+        engine = cls(bundle.build_model(rng=rng), threshold=threshold,
+                     max_cached_contexts=max_cached_contexts)
+        engine.bundle = bundle
+        return engine
+
+    # ------------------------------------------------------------------
+    # Task sessions
+    # ------------------------------------------------------------------
+    @property
+    def active_task(self) -> Optional[Task]:
+        return self._active
+
+    def attach(self, task: Task, refresh: bool = False) -> "CommunitySearchEngine":
+        """Make ``task`` the active session; encode + cache its context.
+
+        The context is the aggregation of the task's support-set views
+        (Algorithm 2, lines 1-4) — which is why ``attach`` takes a
+        :class:`~repro.tasks.task.Task` rather than a bare graph: the
+        support shots are part of the session.  Wrap a graph and its
+        labelled examples in a ``Task`` to serve a new graph.
+
+        ``refresh=True`` forces re-encoding (e.g. after the task's support
+        set changed).
+        """
+        if not isinstance(task, Task):
+            raise TypeError(
+                f"attach expects a repro.tasks.Task (a graph plus its "
+                f"support shots), got {type(task).__name__}")
+        config = self.model.config
+        feature_dim = task.features(config.use_attributes,
+                                    config.use_structural).shape[1]
+        if feature_dim != self.model.in_dim:
+            raise ValueError(
+                f"task produces {feature_dim}-dim node features but the "
+                f"model was built for in_dim={self.model.in_dim}; check the "
+                f"dataset/scale and the bundle's feature schema")
+        if refresh:
+            self._contexts.pop(task, None)
+        self._context_for(task)
+        self._active = task
+        return self
+
+    def detach(self, task: Optional[Task] = None) -> None:
+        """Drop a task's cached context (the active task by default)."""
+        task = task if task is not None else self._active
+        if task is not None:
+            self._contexts.pop(task, None)
+        if task is self._active:
+            self._active = None
+
+    def _require_task(self, task: Optional[Task]) -> Task:
+        task = task if task is not None else self._active
+        if task is None:
+            raise RuntimeError(
+                "no task attached: call engine.attach(task) first or pass "
+                "task= explicitly")
+        return task
+
+    def _context_for(self, task: Task) -> Tensor:
+        """The task's context matrix, from cache or freshly encoded."""
+        cached = self._contexts.get(task)
+        if cached is not None:
+            self._contexts.move_to_end(task)
+            self._stats.context_cache_hits += 1
+            return cached
+        self._stats.context_cache_misses += 1
+        start = time.perf_counter()
+        with no_grad():
+            context = self.model.context(task)
+        self._stats.context_seconds += time.perf_counter() - start
+        self._stats.contexts_encoded += 1
+        self._contexts[task] = context
+        while len(self._contexts) > self.max_cached_contexts:
+            self._contexts.popitem(last=False)
+            self._stats.contexts_evicted += 1
+        return context
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict_proba(self, nodes: Union[int, Sequence[int], np.ndarray],
+                      task: Optional[Task] = None) -> np.ndarray:
+        """Membership probabilities for a batch of query nodes.
+
+        Returns a ``(num_queries, num_nodes)`` matrix; row ``b`` is the
+        probability of every task-graph node belonging to the community
+        of ``nodes[b]``.  All queries share one cached context and one
+        batched decoder pass.
+        """
+        task = self._require_task(task)
+        if isinstance(nodes, (int, np.integer)):
+            nodes = [int(nodes)]
+        indices = validate_queries(task.graph, nodes)
+        return self._predict_validated(task, indices)
+
+    def _predict_validated(self, task: Task, indices: np.ndarray) -> np.ndarray:
+        """The decode path proper: ``indices`` are already bounds-checked."""
+        context = self._context_for(task)
+        start = time.perf_counter()
+        with no_grad():
+            logits = self.model.query_logits_batch(context, indices, task.graph)
+            probabilities = logits.sigmoid().data
+        self._stats.decode_seconds += time.perf_counter() - start
+        self._stats.queries_served += int(indices.size)
+        self._stats.batches_served += 1
+        return probabilities
+
+    def query(self, nodes: Union[int, Sequence[int], np.ndarray],
+              task: Optional[Task] = None,
+              threshold: Optional[float] = None,
+              ) -> Union[np.ndarray, Dict[int, np.ndarray]]:
+        """Predicted community for one node, or for a batch of nodes.
+
+        A scalar query returns its community as an ndarray of node ids; a
+        sequence returns ``{query: community}``.  The query node is always
+        a member of its own community.
+        """
+        single = isinstance(nodes, (int, np.integer))
+        batch = [int(nodes)] if single else nodes
+        task = self._require_task(task)
+        indices = validate_queries(task.graph, batch)
+        probabilities = self._predict_validated(task, indices)
+        cutoff = self.threshold if threshold is None else float(threshold)
+        result: Dict[int, np.ndarray] = {}
+        for row, query in zip(probabilities, indices.tolist()):
+            members = row >= cutoff
+            members[query] = True
+            result[query] = np.flatnonzero(members)
+        if single:
+            return result[int(nodes)]
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """A snapshot of the serving counters."""
+        return dataclasses.replace(self._stats)
+
+    def reset_stats(self) -> None:
+        self._stats = EngineStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return (f"CommunitySearchEngine({self.model.describe()}, "
+                f"cached_contexts={len(self._contexts)}, "
+                f"queries_served={self._stats.queries_served})")

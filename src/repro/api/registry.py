@@ -1,0 +1,222 @@
+"""String-spec method registry: every paper method behind one factory.
+
+The experiment harness, the CLI and user code all need to turn a method
+*name* ("CGNP-IP", "MAML", "CTC", …) into a configured
+:class:`~repro.baselines.base.CommunitySearchMethod`.  Before this module
+that dispatch was an if/elif chain private to ``eval/experiments.py``;
+now each method registers itself where it is defined::
+
+    from repro.api.registry import MethodSpec, register_method
+
+    @register_method("CGNP-IP", rank=20)
+    def _build(spec: MethodSpec) -> CommunitySearchMethod:
+        ...
+
+and callers resolve names through :func:`create_method` or a
+:class:`MethodRegistry` instance.  ``rank`` fixes the display order of
+:func:`available_methods` to the paper's Table II column order regardless
+of import order.
+
+:class:`MethodSpec` carries every budget knob a factory may need (hidden
+width, meta-training epochs, per-task fine-tuning steps, inner-loop
+steps), so one spec can instantiate any method of the comparison.  The
+defaults match the ``fast`` experiment profile.
+
+This module deliberately imports nothing from the rest of the package so
+that any layer (algorithms, baselines, eval, cli) can depend on it
+without cycles; the built-in registrations are pulled in lazily the first
+time a default-registry helper is used.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Callable, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "MethodSpec",
+    "MethodFactory",
+    "MethodRegistry",
+    "DEFAULT_REGISTRY",
+    "register_method",
+    "create_method",
+    "method_factory",
+    "available_methods",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodSpec:
+    """Everything a method factory may need, in one value.
+
+    A spec is method-agnostic: CGNP factories read ``cgnp_epochs`` and the
+    architecture fields, optimisation-based baselines read the
+    ``pretrain_epochs`` / ``inner_steps_*`` budgets, per-task methods read
+    ``per_task_steps``, and the graph algorithms ignore all of it.
+    Defaults match the ``fast`` experiment profile.
+    """
+
+    name: str
+    hidden_dim: int = 64
+    num_layers: int = 2
+    conv: str = "gat"
+    aggregator: str = "sum"
+    cgnp_epochs: int = 60
+    pretrain_epochs: int = 12
+    per_task_steps: int = 80
+    inner_steps_train: int = 8
+    inner_steps_test: int = 15
+    seed: int = 0
+
+    def replace(self, **changes) -> "MethodSpec":
+        """A copy of this spec with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+#: A factory maps a spec to a ready-to-fit method instance.
+MethodFactory = Callable[[MethodSpec], object]
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower()
+
+
+@dataclasses.dataclass(frozen=True)
+class _Registration:
+    name: str           # canonical (display) casing
+    factory: MethodFactory
+    rank: int           # display order (paper column order)
+    index: int          # insertion order, tie-breaker
+
+
+class MethodRegistry:
+    """A case-insensitive name → factory mapping.
+
+    Most code uses the module-level :data:`DEFAULT_REGISTRY` through
+    :func:`register_method` / :func:`create_method`; separate instances
+    are handy in tests or for experimental method suites.
+    """
+
+    def __init__(self) -> None:
+        self._registrations: Dict[str, _Registration] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: Optional[MethodFactory] = None,
+                 *, rank: Optional[int] = None):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        ``rank`` orders :meth:`names` (lower first); unranked methods sort
+        after every ranked one, in registration order.  Re-registering a
+        name is an error — it almost always indicates a typo or an
+        accidental double import.
+        """
+
+        def decorator(fn: MethodFactory) -> MethodFactory:
+            key = _normalise(name)
+            if key in self._registrations:
+                raise ValueError(f"method {name!r} is already registered")
+            index = len(self._registrations)
+            effective_rank = rank if rank is not None else 1_000_000 + index
+            self._registrations[key] = _Registration(name, fn, effective_rank, index)
+            return fn
+
+        if factory is not None:
+            return decorator(factory)
+        return decorator
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and _normalise(name) in self._registrations
+
+    def __len__(self) -> int:
+        return len(self._registrations)
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical method names in display (rank) order."""
+        ordered = sorted(self._registrations.values(),
+                         key=lambda r: (r.rank, r.index))
+        return tuple(r.name for r in ordered)
+
+    def factory(self, name: str) -> MethodFactory:
+        """The factory registered under ``name`` (case-insensitive)."""
+        registration = self._registrations.get(_normalise(name))
+        if registration is None:
+            raise ValueError(
+                f"unknown method {name!r}; known: {list(self.names())}")
+        return registration.factory
+
+    def canonical_name(self, name: str) -> str:
+        """The display casing of ``name`` (e.g. ``"ctc"`` → ``"CTC"``)."""
+        registration = self._registrations.get(_normalise(name))
+        if registration is None:
+            raise ValueError(
+                f"unknown method {name!r}; known: {list(self.names())}")
+        return registration.name
+
+    def create(self, spec: Union[str, MethodSpec], **overrides):
+        """Instantiate a method from a spec or a bare name.
+
+        ``overrides`` are applied to the spec (or, for a bare name, used
+        as the spec's non-default fields).
+        """
+        if isinstance(spec, str):
+            spec = MethodSpec(name=spec, **overrides)
+        elif overrides:
+            spec = dataclasses.replace(spec, **overrides)
+        return self.factory(spec.name)(spec)
+
+
+#: The process-wide registry holding every built-in paper method.
+DEFAULT_REGISTRY = MethodRegistry()
+
+_BUILTINS_LOADED = False
+
+
+def _load_builtin_methods() -> None:
+    """Import the modules whose import side-effect registers the built-ins.
+
+    The flag is set *before* importing so a re-entrant call during those
+    imports (``repro.baselines`` → ``repro`` → ``repro.eval`` → here)
+    returns immediately instead of recursing.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    try:
+        for module in ("repro.algorithms", "repro.baselines"):
+            importlib.import_module(module)
+    except BaseException:
+        # Don't latch a half-loaded registry: let a later call retry and
+        # surface the real import error instead of "known: []".
+        _BUILTINS_LOADED = False
+        raise
+
+
+def register_method(name: str, factory: Optional[MethodFactory] = None,
+                    *, rank: Optional[int] = None):
+    """Register a factory in the default registry (decorator-friendly)."""
+    return DEFAULT_REGISTRY.register(name, factory, rank=rank)
+
+
+def create_method(spec: Union[str, MethodSpec], **overrides):
+    """Instantiate a method by name or spec from the default registry."""
+    _load_builtin_methods()
+    return DEFAULT_REGISTRY.create(spec, **overrides)
+
+
+def method_factory(name: str) -> MethodFactory:
+    """Resolve a factory by name from the default registry."""
+    _load_builtin_methods()
+    return DEFAULT_REGISTRY.factory(name)
+
+
+def available_methods() -> Tuple[str, ...]:
+    """Every registered method name, in the paper's column order."""
+    _load_builtin_methods()
+    return DEFAULT_REGISTRY.names()

@@ -118,3 +118,17 @@ class AQDGNN(CommunitySearchMethod):
                 predictions.append(threshold_prediction(
                     probabilities, example.query, example.membership))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("AQD-GNN", rank=16)
+def _build_aqd_gnn(spec: MethodSpec) -> AQDGNN:
+    return AQDGNN(AQDGNNConfig(hidden_dim=spec.hidden_dim,
+                               num_layers=spec.num_layers, conv=spec.conv,
+                               train_steps=spec.per_task_steps),
+                  seed=spec.seed)

@@ -68,3 +68,24 @@ def make_cgnp_variant(decoder: str, seed: int = 0,
                               conv=conv, aggregator=aggregator, decoder=decoder)
     train_config = MetaTrainConfig(epochs=epochs, learning_rate=learning_rate)
     return CGNPMethod(model_config, train_config, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+def _variant_factory(decoder: str):
+    def build(spec: MethodSpec) -> CGNPMethod:
+        model_config = CGNPConfig(hidden_dim=spec.hidden_dim,
+                                  num_layers=spec.num_layers, conv=spec.conv,
+                                  aggregator=spec.aggregator, decoder=decoder)
+        return CGNPMethod(model_config, MetaTrainConfig(epochs=spec.cgnp_epochs),
+                          seed=spec.seed)
+    return build
+
+
+for _rank, _decoder in ((20, "ip"), (21, "mlp"), (22, "gnn")):
+    register_method(f"CGNP-{_decoder.upper()}", _variant_factory(_decoder),
+                    rank=_rank)

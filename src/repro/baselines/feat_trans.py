@@ -91,3 +91,18 @@ class FeatureTransfer(CommunitySearchMethod):
                                   c.conv, c.dropout, np.random.default_rng(0))
         clone.load_state_dict(self._model.state_dict())
         return clone
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("FeatTrans", rank=12)
+def _build_feat_trans(spec: MethodSpec) -> FeatureTransfer:
+    return FeatureTransfer(FeatTransConfig(hidden_dim=spec.hidden_dim,
+                                           num_layers=spec.num_layers,
+                                           conv=spec.conv,
+                                           pretrain_epochs=spec.pretrain_epochs),
+                           seed=spec.seed)

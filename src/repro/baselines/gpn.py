@@ -151,3 +151,16 @@ class GPN(CommunitySearchMethod):
                 predictions.append(threshold_prediction(
                     probabilities, example.query, example.membership))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("GPN", rank=13)
+def _build_gpn(spec: MethodSpec) -> GPN:
+    return GPN(GPNConfig(hidden_dim=spec.hidden_dim,
+                         num_layers=spec.num_layers, conv=spec.conv,
+                         epochs=spec.pretrain_epochs), seed=spec.seed)

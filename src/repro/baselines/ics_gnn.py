@@ -107,3 +107,17 @@ class ICSGNN(CommunitySearchMethod):
                 ground_truth=example.membership,
             ))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("ICS-GNN", rank=15)
+def _build_ics_gnn(spec: MethodSpec) -> ICSGNN:
+    # ICS-GNN trains a small per-query model; half the per-task budget
+    # (floor 20) keeps it comparable, mirroring the original harness.
+    return ICSGNN(ICSGNNConfig(train_steps=max(spec.per_task_steps // 2, 20)),
+                  seed=spec.seed)

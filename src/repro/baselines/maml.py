@@ -126,3 +126,19 @@ class MAML(CommunitySearchMethod):
             predictions.append(threshold_prediction(
                 probabilities, example.query, example.membership))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("MAML", rank=10)
+def _build_maml(spec: MethodSpec) -> MAML:
+    return MAML(MAMLConfig(hidden_dim=spec.hidden_dim,
+                           num_layers=spec.num_layers, conv=spec.conv,
+                           epochs=spec.pretrain_epochs,
+                           inner_steps_train=spec.inner_steps_train,
+                           inner_steps_test=spec.inner_steps_test),
+                seed=spec.seed)

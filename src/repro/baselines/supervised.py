@@ -70,3 +70,18 @@ class SupervisedGNN(CommunitySearchMethod):
             predictions.append(threshold_prediction(
                 probabilities, example.query, example.membership))
         return predictions
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+# ----------------------------------------------------------------------
+from ..api.registry import MethodSpec, register_method  # noqa: E402
+
+
+@register_method("Supervised", rank=14)
+def _build_supervised(spec: MethodSpec) -> SupervisedGNN:
+    return SupervisedGNN(SupervisedConfig(hidden_dim=spec.hidden_dim,
+                                          num_layers=spec.num_layers,
+                                          conv=spec.conv,
+                                          train_steps=spec.per_task_steps),
+                         seed=spec.seed)

@@ -3,14 +3,18 @@
 Usage (after install)::
 
     python -m repro.cli datasets
+    python -m repro.cli methods
     python -m repro.cli run --scenario sgsc --dataset citeseer \
         --methods CTC,Supervised,CGNP-IP --profile smoke --shots 1
     python -m repro.cli train --dataset cora --out model.npz
     python -m repro.cli query --dataset cora --model model.npz --node 42
 
 ``run`` regenerates a table cell of the paper; ``train``/``query`` expose
-the deployment loop: persist a meta model once, answer arbitrary queries
-later.
+the deployment loop: ``train`` meta-trains a CGNP and writes a
+self-describing :class:`~repro.api.bundle.ModelBundle`, ``query`` serves
+it through a :class:`~repro.api.engine.CommunitySearchEngine` — the
+architecture is read from the bundle, so no ``--hidden-dim``-style flags
+are needed at query time.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from .core import CGNP, CGNPConfig, MetaTrainConfig, meta_train, predict_memberships
+from .api import CommunitySearchEngine, ModelBundle, available_methods
+from .core import CGNP, CGNPConfig, MetaTrainConfig, meta_train
 from .datasets import dataset_names, load_dataset
 from .eval import (
     PROFILES,
@@ -30,11 +35,13 @@ from .eval import (
     format_time_table,
     run_effectiveness,
 )
-from .nn.serialize import load_state, save_state
 from .tasks import ScenarioConfig, TaskSampler, make_scenario
 from .utils import make_rng
 
 __all__ = ["main", "build_parser"]
+
+#: Query-time architecture flags superseded by the model bundle.
+DEPRECATED_QUERY_FLAGS = ("hidden_dim", "layers", "conv", "decoder")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list the registered datasets")
+    sub.add_parser("methods", help="list the registered methods")
 
     run = sub.add_parser("run", help="run an effectiveness experiment")
     run.add_argument("--scenario", default="sgsc",
@@ -51,16 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dataset", default="citeseer",
                      help="dataset name, or source2target / cite2cora for mgdd")
     run.add_argument("--methods", default="CTC,Supervised,CGNP-IP",
-                     help="comma-separated method names")
+                     help="comma-separated method names (see `repro methods`)")
     run.add_argument("--profile", default="smoke", choices=sorted(PROFILES))
     run.add_argument("--shots", default="1", help="comma-separated shot counts")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--times", action="store_true",
                      help="also print the wall-clock table (Fig. 3 style)")
 
-    train = sub.add_parser("train", help="meta-train a CGNP and save it")
+    train = sub.add_parser("train", help="meta-train a CGNP and save a bundle")
     train.add_argument("--dataset", default="cora")
-    train.add_argument("--out", required=True, help="output .npz path")
+    train.add_argument("--out", required=True, help="output bundle (.npz) path")
     train.add_argument("--epochs", type=int, default=40)
     train.add_argument("--tasks", type=int, default=12)
     train.add_argument("--subgraph-nodes", type=int, default=100)
@@ -71,18 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--scale", type=float, default=0.5)
     train.add_argument("--seed", type=int, default=0)
 
-    query = sub.add_parser("query", help="answer queries with a saved model")
+    query = sub.add_parser("query", help="answer queries with a saved bundle")
     query.add_argument("--dataset", default="cora")
-    query.add_argument("--model", required=True, help="saved .npz path")
+    query.add_argument("--model", required=True, help="saved bundle (.npz) path")
     query.add_argument("--node", type=int, required=True,
                        help="query node id in a fresh task subgraph")
     query.add_argument("--subgraph-nodes", type=int, default=100)
-    query.add_argument("--hidden-dim", type=int, default=64)
-    query.add_argument("--layers", type=int, default=2)
-    query.add_argument("--conv", default="gat", choices=["gcn", "gat", "sage"])
-    query.add_argument("--decoder", default="ip", choices=["ip", "mlp", "gnn"])
+    query.add_argument("--threshold", type=float, default=0.5,
+                       help="membership probability threshold")
     query.add_argument("--scale", type=float, default=0.5)
     query.add_argument("--seed", type=int, default=0)
+    # Deprecated no-ops: the architecture now travels inside the bundle.
+    # Still accepted (and used as a fallback for legacy weight-only files)
+    # so existing scripts keep working, with a warning.
+    query.add_argument("--hidden-dim", type=int, default=None,
+                       help="deprecated: read from the model bundle")
+    query.add_argument("--layers", type=int, default=None,
+                       help="deprecated: read from the model bundle")
+    query.add_argument("--conv", default=None, choices=["gcn", "gat", "sage"],
+                       help="deprecated: read from the model bundle")
+    query.add_argument("--decoder", default=None, choices=["ip", "mlp", "gnn"],
+                       help="deprecated: read from the model bundle")
     return parser
 
 
@@ -104,10 +121,30 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _cmd_methods() -> int:
+    from .api import create_method
+
+    rows = []
+    for name in available_methods():
+        method = create_method(name)
+        kind = "meta-learned" if method.trains_meta else "per-task / algorithmic"
+        rows.append([name, kind, type(method).__name__])
+    print(format_generic_table(
+        ["Method", "Kind", "Class"], rows,
+        title="Registered community-search methods", float_format="{}"))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     profile = PROFILES[args.profile]
     shots = tuple(int(s) for s in args.shots.split(","))
     methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    known = {name.lower() for name in available_methods()}
+    unknown = [m for m in methods if m.lower() not in known]
+    if unknown:
+        print(f"error: unknown method(s) {unknown}; "
+              f"known: {list(available_methods())}", file=sys.stderr)
+        return 2
     results = run_effectiveness(args.scenario, args.dataset, profile,
                                 shots=shots, method_names=methods,
                                 seed=args.seed)
@@ -122,11 +159,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _train_config(args: argparse.Namespace) -> CGNPConfig:
-    return CGNPConfig(hidden_dim=args.hidden_dim, num_layers=args.layers,
-                      conv=args.conv, decoder=args.decoder)
-
-
 def _cmd_train(args: argparse.Namespace) -> int:
     config = ScenarioConfig(
         num_train_tasks=args.tasks, num_valid_tasks=max(args.tasks // 4, 1),
@@ -135,31 +167,85 @@ def _cmd_train(args: argparse.Namespace) -> int:
     tasks = make_scenario("sgsc", args.dataset, config, scale=args.scale)
     rng = make_rng(args.seed)
     in_dim = tasks.train[0].features().shape[1]
-    model = CGNP(in_dim, _train_config(args), rng)
+    model_config = CGNPConfig(hidden_dim=args.hidden_dim,
+                              num_layers=args.layers, conv=args.conv,
+                              decoder=args.decoder)
+    model = CGNP(in_dim, model_config, rng)
     print(model.describe())
     state = meta_train(model, tasks.train, MetaTrainConfig(epochs=args.epochs),
                        rng, valid_tasks=tasks.valid)
-    save_state(model.state_dict(), args.out)
+    bundle = ModelBundle.from_model(model, provenance={
+        "dataset": args.dataset,
+        "scenario": "sgsc",
+        "scale": args.scale,
+        "subgraph_nodes": args.subgraph_nodes,
+        "num_train_tasks": args.tasks,
+        "seed": args.seed,
+        "epochs_trained": len(state.epoch_losses),
+        "final_loss": float(state.epoch_losses[-1]),
+    })
+    bundle.save(args.out)
     print(f"trained {len(state.epoch_losses)} epochs "
           f"(loss {state.epoch_losses[0]:.4f} -> {state.epoch_losses[-1]:.4f}); "
           f"saved to {args.out}")
     return 0
 
 
+def _warn_deprecated_query_flags(args: argparse.Namespace) -> None:
+    used = [flag for flag in DEPRECATED_QUERY_FLAGS
+            if getattr(args, flag) is not None]
+    if used:
+        flags = ", ".join("--" + f.replace("_", "-") for f in used)
+        print(f"warning: {flags} deprecated for `query` — the architecture "
+              f"is read from the model bundle", file=sys.stderr)
+
+
+def _legacy_config(args: argparse.Namespace) -> CGNPConfig:
+    """Architecture for weight-only checkpoints, from flags or defaults."""
+    return CGNPConfig(
+        hidden_dim=args.hidden_dim if args.hidden_dim is not None else 64,
+        num_layers=args.layers if args.layers is not None else 2,
+        conv=args.conv if args.conv is not None else "gat",
+        decoder=args.decoder if args.decoder is not None else "ip")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    _warn_deprecated_query_flags(args)
     dataset = load_dataset(args.dataset, scale=args.scale)
-    rng = make_rng(args.seed)
     sampler = TaskSampler(dataset.graph, subgraph_nodes=args.subgraph_nodes,
                           num_support=3, num_query=3)
-    task = sampler.sample_task(rng)
-    if not 0 <= args.node < task.graph.num_nodes:
-        print(f"error: --node must be in [0, {task.graph.num_nodes})",
+    task = sampler.sample_task(make_rng(args.seed))
+    in_dim = task.features().shape[1]
+
+    try:
+        bundle = ModelBundle.load(args.model)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load model bundle {args.model!r}: {exc}",
               file=sys.stderr)
         return 2
-    in_dim = task.features().shape[1]
-    model = CGNP(in_dim, _train_config(args), make_rng(0))
-    model.load_state_dict(load_state(args.model))
-    members = predict_memberships(model, task, [args.node])[args.node]
+    if bundle.is_legacy:
+        print("warning: legacy weight-only checkpoint — architecture taken "
+              "from flags/defaults; re-save with `repro train` to embed it",
+              file=sys.stderr)
+        model = bundle.build_model(make_rng(0), config=_legacy_config(args),
+                                   in_dim=in_dim)
+        engine = CommunitySearchEngine(model, threshold=args.threshold)
+    else:
+        print(f"loaded {bundle.describe()}")
+        if bundle.in_dim != in_dim:
+            print(f"error: bundle expects {bundle.in_dim}-dim node features "
+                  f"but dataset {args.dataset!r} at scale {args.scale} "
+                  f"produces {in_dim}-dim features", file=sys.stderr)
+            return 2
+        engine = CommunitySearchEngine.from_bundle(bundle,
+                                                   threshold=args.threshold)
+
+    try:
+        engine.attach(task)
+        members = engine.query(args.node)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"query node {args.node} (task subgraph of "
           f"{task.graph.num_nodes} nodes):")
     print(f"predicted community ({len(members)} nodes): {members.tolist()}")
@@ -168,6 +254,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         overlap = len(set(members.tolist()) & truth)
         print(f"ground-truth community: {len(truth)} nodes "
               f"({overlap} overlap)")
+    stats = engine.stats()
+    print(f"engine: {stats.queries_served} query(ies), "
+          f"{stats.contexts_encoded} context encoding(s), "
+          f"decode {stats.decode_seconds * 1e3:.1f} ms")
     return 0
 
 
@@ -175,6 +265,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
         return _cmd_datasets()
+    if args.command == "methods":
+        return _cmd_methods()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "train":

@@ -10,8 +10,15 @@ from .aggregators import (
     make_aggregator,
 )
 from .calibrate import calibrate_threshold, sweep_thresholds
-from .decoders import DECODERS, GNNDecoder, InnerProductDecoder, MLPDecoder, make_decoder
-from .infer import QueryPrediction, meta_test_task, predict_memberships
+from .decoders import (
+    DECODERS,
+    Decoder,
+    GNNDecoder,
+    InnerProductDecoder,
+    MLPDecoder,
+    make_decoder,
+)
+from .infer import QueryPrediction, meta_test_task, predict_memberships, validate_queries
 from .model import CGNP, CGNPConfig
 from .train import MetaTrainConfig, TrainState, evaluate_loss, meta_train, task_loss
 
@@ -23,6 +30,7 @@ __all__ = [
     "AttentionAggregator",
     "make_aggregator",
     "AGGREGATORS",
+    "Decoder",
     "InnerProductDecoder",
     "MLPDecoder",
     "GNNDecoder",
@@ -36,6 +44,7 @@ __all__ = [
     "QueryPrediction",
     "meta_test_task",
     "predict_memberships",
+    "validate_queries",
     "calibrate_threshold",
     "sweep_thresholds",
 ]

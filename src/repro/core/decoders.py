@@ -10,6 +10,12 @@ Three decoders of increasing capacity (section VI):
 * **GNN** — transforms the context with an independent 2-layer GNN
   (allowing further message passing) before the inner product.
 
+All three share one skeleton: a context *transform* followed by the inner
+product against the query row.  :class:`Decoder` factors that out and adds
+:meth:`Decoder.forward_batch`, which answers a whole batch of queries with
+a single transform and one matmul — the serving path of
+:class:`~repro.api.engine.CommunitySearchEngine`.
+
 All decoders return *logits*; callers apply the sigmoid.
 """
 
@@ -25,18 +31,47 @@ from ..nn.module import Module
 from ..nn.tensor import Tensor
 from ..gnn.encoder import GNNEncoder
 
-__all__ = ["InnerProductDecoder", "MLPDecoder", "GNNDecoder", "make_decoder", "DECODERS"]
+__all__ = ["Decoder", "InnerProductDecoder", "MLPDecoder", "GNNDecoder",
+           "make_decoder", "DECODERS"]
 
 
-class InnerProductDecoder(Module):
-    """Parameter-free similarity decoder (Eq. 17)."""
+class Decoder(Module):
+    """Common decoder skeleton: transform the context, then inner-product.
+
+    Subclasses override :meth:`transform`; the single-query and batched
+    forward passes are shared.  Because the transform is independent of
+    the query node, a batch of queries costs one transform plus one
+    matmul instead of ``B`` full decoder passes.
+    """
+
+    def transform(self, context: Tensor, graph: Graph) -> Tensor:
+        """Query-independent context transform (identity by default)."""
+        return context
 
     def forward(self, context: Tensor, query: int, graph: Graph) -> Tensor:
-        query_embedding = context.take_rows(np.asarray([int(query)]))  # (1, d)
-        return context.matmul(query_embedding.reshape(-1))             # (n,)
+        """Membership logits of every node for one query: ``(n,)``."""
+        transformed = self.transform(context, graph)
+        query_embedding = transformed.take_rows(np.asarray([int(query)]))  # (1, d)
+        return transformed.matmul(query_embedding.reshape(-1))             # (n,)
+
+    def forward_batch(self, context: Tensor, queries: np.ndarray,
+                      graph: Graph) -> Tensor:
+        """Membership logits for a batch of queries: ``(B, n)``.
+
+        Row ``b`` equals ``forward(context, queries[b], graph)``; the
+        context transform runs once for the whole batch.
+        """
+        transformed = self.transform(context, graph)
+        indices = np.asarray(queries, dtype=np.int64)
+        gathered = transformed.take_rows(indices)        # (B, d)
+        return gathered.matmul(transformed.transpose())  # (B, n)
 
 
-class MLPDecoder(Module):
+class InnerProductDecoder(Decoder):
+    """Parameter-free similarity decoder (Eq. 17)."""
+
+
+class MLPDecoder(Decoder):
     """MLP-transformed context followed by the inner product.
 
     Parameters
@@ -52,14 +87,12 @@ class MLPDecoder(Module):
     def __init__(self, dim: int, rng: np.random.Generator, hidden_dim: int = 512):
         super().__init__()
         self.mlp = MLP([dim, hidden_dim, dim], rng)
-        self.inner = InnerProductDecoder()
 
-    def forward(self, context: Tensor, query: int, graph: Graph) -> Tensor:
-        transformed = self.mlp(context)
-        return self.inner(transformed, query, graph)
+    def transform(self, context: Tensor, graph: Graph) -> Tensor:
+        return self.mlp(context)
 
 
-class GNNDecoder(Module):
+class GNNDecoder(Decoder):
     """GNN-transformed context followed by the inner product.
 
     The decoder GNN is independent of the encoder GNN (same conv type and
@@ -70,18 +103,16 @@ class GNNDecoder(Module):
                  num_layers: int = 2, dropout: float = 0.2):
         super().__init__()
         self.gnn = GNNEncoder(dim, dim, num_layers, conv, dropout, rng)
-        self.inner = InnerProductDecoder()
 
-    def forward(self, context: Tensor, query: int, graph: Graph) -> Tensor:
-        transformed = self.gnn(context, graph)
-        return self.inner(transformed, query, graph)
+    def transform(self, context: Tensor, graph: Graph) -> Tensor:
+        return self.gnn(context, graph)
 
 
 DECODERS = ("ip", "mlp", "gnn")
 
 
 def make_decoder(name: str, dim: int, rng: np.random.Generator,
-                 conv: str = "gat", mlp_hidden: int = 512) -> Module:
+                 conv: str = "gat", mlp_hidden: int = 512) -> Decoder:
     """Factory: ``name`` ∈ {"ip", "mlp", "gnn"}."""
     key = name.lower()
     if key == "ip":

@@ -1,24 +1,31 @@
 """CGNP meta-testing — Algorithm 2 of the paper.
 
 For a test task ``T* = (G*, Q*, L*)``: the *entire* support set serves as
-the context observations; each held-out query is answered by one decoder
-pass — no parameter updates.  The context is computed once per task and
-reused for every query, matching Algorithm 2's structure (lines 2-4 once,
-line 5 per query).
+the context observations; held-out queries are answered by decoder passes
+— no parameter updates.  The context is computed once per task (lines 2-4)
+and every query of the batch is answered by a *single* vectorised decoder
+pass (line 5), matching how :class:`~repro.api.engine.CommunitySearchEngine`
+serves online traffic.
+
+Both entry points take the membership ``threshold`` per call and never
+write into task-owned arrays: probabilities are fresh matrices and the
+ground-truth masks are copied into the predictions.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
+from ..graph import Graph
 from ..nn.tensor import no_grad
-from ..tasks.task import QueryExample, Task
+from ..tasks.task import Task
 from .model import CGNP
 
-__all__ = ["QueryPrediction", "meta_test_task", "predict_memberships"]
+__all__ = ["QueryPrediction", "meta_test_task", "predict_memberships",
+           "validate_queries"]
 
 
 @dataclasses.dataclass
@@ -31,41 +38,75 @@ class QueryPrediction:
     ground_truth: np.ndarray    # boolean mask (evaluation only)
 
 
+def validate_queries(graph: Graph,
+                     queries: Union[Sequence[int], np.ndarray]) -> np.ndarray:
+    """Coerce ``queries`` to an int64 array and bounds-check every node.
+
+    Raises a :class:`ValueError` naming the offending ids instead of
+    letting an out-of-range index surface as a raw numpy error deep in
+    the decoder.
+    """
+    try:
+        indices = np.asarray([int(q) for q in queries], dtype=np.int64)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"query nodes must be integers: {exc}") from exc
+    out_of_range = indices[(indices < 0) | (indices >= graph.num_nodes)]
+    if out_of_range.size:
+        bad = sorted(set(out_of_range.tolist()))
+        raise ValueError(
+            f"query node(s) {bad} out of range for a graph with "
+            f"{graph.num_nodes} nodes (valid ids: 0..{graph.num_nodes - 1})")
+    return indices
+
+
+def _membership_probabilities(model: CGNP, task: Task,
+                              queries: np.ndarray) -> np.ndarray:
+    """One context encoding + one batched decoder pass: ``(B, n)`` probs."""
+    with no_grad():
+        context = model.context(task)  # Algorithm 2 lines 1-4: S* → H
+        logits = model.query_logits_batch(context, queries, task.graph)
+        return logits.sigmoid().data
+
+
+def _community_of(probabilities: np.ndarray, query: int,
+                  threshold: float) -> np.ndarray:
+    members = probabilities >= threshold
+    members[query] = True  # q ∈ C_q by definition
+    return np.flatnonzero(members)
+
+
 def meta_test_task(model: CGNP, task: Task, threshold: float = 0.5) -> List[QueryPrediction]:
     """Run Algorithm 2 on every held-out query of ``task``."""
     model.eval()
+    if not task.queries:
+        return []
+    queries = validate_queries(task.graph, [e.query for e in task.queries])
+    probabilities = _membership_probabilities(model, task, queries)
     predictions: List[QueryPrediction] = []
-    with no_grad():
-        context = model.context(task)  # lines 1-4: S* → H
-        for example in task.queries:
-            logits = model.query_logits(context, example.query, task.graph)
-            probabilities = logits.sigmoid().data
-            members = probabilities >= threshold
-            members[example.query] = True
-            predictions.append(QueryPrediction(
-                query=example.query,
-                probabilities=probabilities,
-                members=np.flatnonzero(members),
-                ground_truth=example.membership,
-            ))
+    for row, example in zip(probabilities, task.queries):
+        row = np.array(row, dtype=np.float64)
+        predictions.append(QueryPrediction(
+            query=example.query,
+            probabilities=row,
+            members=_community_of(row, example.query, threshold),
+            ground_truth=example.membership.copy(),
+        ))
     return predictions
 
 
-def predict_memberships(model: CGNP, task: Task, queries: List[int],
+def predict_memberships(model: CGNP, task: Task, queries: Sequence[int],
                         threshold: float = 0.5) -> Dict[int, np.ndarray]:
     """Answer arbitrary query nodes (no ground truth needed).
 
     This is the deployment entry point: any node of the task graph can be
-    queried, returning its predicted community.
+    queried, returning its predicted community.  For a persistent session
+    that additionally caches the context across calls, use
+    :class:`repro.api.engine.CommunitySearchEngine`.
     """
     model.eval()
-    result: Dict[int, np.ndarray] = {}
-    with no_grad():
-        context = model.context(task)
-        for query in queries:
-            logits = model.query_logits(context, int(query), task.graph)
-            probabilities = logits.sigmoid().data
-            members = probabilities >= threshold
-            members[int(query)] = True
-            result[int(query)] = np.flatnonzero(members)
-    return result
+    indices = validate_queries(task.graph, queries)
+    if indices.size == 0:
+        return {}
+    probabilities = _membership_probabilities(model, task, indices)
+    return {query: _community_of(np.array(row, dtype=np.float64), query, threshold)
+            for row, query in zip(probabilities, indices.tolist())}

@@ -108,6 +108,19 @@ class CGNP(Module):
         """ρ_θ(q*, H): membership logits of all nodes for query ``q*``."""
         return self.decoder(context, query, graph)
 
+    def query_logits_batch(self, context: Tensor, queries: Sequence[int],
+                           graph: Graph) -> Tensor:
+        """ρ_θ applied to a whole batch of queries against one context.
+
+        Returns a ``(B, n)`` tensor whose row ``b`` equals
+        ``query_logits(context, queries[b], graph)``; the decoder's
+        context transform (MLP/GNN variants) runs once for the batch,
+        which is what makes Algorithm 2 serve many queries at the cost of
+        roughly one.
+        """
+        indices = np.asarray(queries, dtype=np.int64)
+        return self.decoder.forward_batch(context, indices, graph)
+
     def forward(self, task: Task, query: int,
                 support: Optional[Sequence[QueryExample]] = None) -> Tensor:
         """Full pass: context from the support set, logits for ``query``."""

@@ -10,6 +10,7 @@ from .experiments import (
     ExperimentProfile,
     build_method,
     build_methods,
+    method_spec,
     run_ablation,
     run_effectiveness,
     run_groundtruth_sweep,
@@ -37,6 +38,7 @@ __all__ = [
     "PROFILES",
     "build_method",
     "build_methods",
+    "method_spec",
     "ALL_METHOD_NAMES",
     "CORE_METHOD_NAMES",
     "run_effectiveness",

@@ -27,26 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..algorithms import AttributedCommunityQuery, AttributedTrussCommunity, ClosestTrussCommunity
-from ..baselines import (
-    AQDGNN,
-    AQDGNNConfig,
-    CGNPMethod,
-    CommunitySearchMethod,
-    FeatTransConfig,
-    FeatureTransfer,
-    GPN,
-    GPNConfig,
-    ICSGNN,
-    ICSGNNConfig,
-    MAML,
-    MAMLConfig,
-    Reptile,
-    ReptileConfig,
-    SupervisedConfig,
-    SupervisedGNN,
-)
-from ..core import CGNPConfig, MetaTrainConfig
+from ..api.registry import MethodSpec, create_method
+from ..baselines import CommunitySearchMethod
 from ..tasks import ScenarioConfig, TaskSet, make_scenario
 from ..utils import make_rng
 from .evaluator import EvaluationResult, evaluate_method
@@ -54,6 +36,7 @@ from .evaluator import EvaluationResult, evaluate_method
 __all__ = [
     "ExperimentProfile",
     "PROFILES",
+    "method_spec",
     "build_method",
     "build_methods",
     "ALL_METHOD_NAMES",
@@ -107,6 +90,9 @@ PROFILES: Dict[str, ExperimentProfile] = {
 }
 
 #: Every method name of the paper's comparison (Table II column order).
+#: Each resolves through :mod:`repro.api.registry`, which orders
+#: ``available_methods()`` identically — a tier-1 test pins the two lists
+#: to each other.
 ALL_METHOD_NAMES = (
     "ATC", "ACQ", "CTC",
     "MAML", "Reptile", "FeatTrans", "GPN", "Supervised", "ICS-GNN", "AQD-GNN",
@@ -120,52 +106,33 @@ CORE_METHOD_NAMES = (
 )
 
 
+def method_spec(name: str, profile: ExperimentProfile, seed: int = 0,
+                conv: str = "gat", aggregator: str = "sum") -> MethodSpec:
+    """The registry spec for ``name`` with budgets scaled to ``profile``."""
+    return MethodSpec(
+        name=name,
+        hidden_dim=profile.hidden_dim,
+        num_layers=profile.num_layers,
+        conv=conv,
+        aggregator=aggregator,
+        cgnp_epochs=profile.cgnp_epochs,
+        pretrain_epochs=profile.pretrain_epochs,
+        per_task_steps=profile.per_task_steps,
+        inner_steps_train=profile.inner_steps_train,
+        inner_steps_test=profile.inner_steps_test,
+        seed=seed,
+    )
+
+
 def build_method(name: str, profile: ExperimentProfile, seed: int = 0,
                  conv: str = "gat", aggregator: str = "sum") -> CommunitySearchMethod:
-    """Instantiate one named method with budgets scaled to ``profile``."""
-    p = profile
-    key = name.lower()
-    if key == "atc":
-        return AttributedTrussCommunity()
-    if key == "acq":
-        return AttributedCommunityQuery()
-    if key == "ctc":
-        return ClosestTrussCommunity()
-    if key == "maml":
-        return MAML(MAMLConfig(hidden_dim=p.hidden_dim, num_layers=p.num_layers,
-                               conv=conv, epochs=p.pretrain_epochs,
-                               inner_steps_train=p.inner_steps_train,
-                               inner_steps_test=p.inner_steps_test), seed=seed)
-    if key == "reptile":
-        return Reptile(ReptileConfig(hidden_dim=p.hidden_dim, num_layers=p.num_layers,
-                                     conv=conv, epochs=p.pretrain_epochs,
-                                     inner_steps_train=p.inner_steps_train,
-                                     inner_steps_test=p.inner_steps_test), seed=seed)
-    if key == "feattrans":
-        return FeatureTransfer(FeatTransConfig(hidden_dim=p.hidden_dim,
-                                               num_layers=p.num_layers, conv=conv,
-                                               pretrain_epochs=p.pretrain_epochs),
-                               seed=seed)
-    if key == "gpn":
-        return GPN(GPNConfig(hidden_dim=p.hidden_dim, num_layers=p.num_layers,
-                             conv=conv, epochs=p.pretrain_epochs), seed=seed)
-    if key == "supervised":
-        return SupervisedGNN(SupervisedConfig(hidden_dim=p.hidden_dim,
-                                              num_layers=p.num_layers, conv=conv,
-                                              train_steps=p.per_task_steps), seed=seed)
-    if key == "ics-gnn":
-        return ICSGNN(ICSGNNConfig(train_steps=max(p.per_task_steps // 2, 20)),
-                      seed=seed)
-    if key == "aqd-gnn":
-        return AQDGNN(AQDGNNConfig(hidden_dim=p.hidden_dim, num_layers=p.num_layers,
-                                   conv=conv, train_steps=p.per_task_steps), seed=seed)
-    if key.startswith("cgnp-"):
-        decoder = key.split("-", 1)[1]
-        model_config = CGNPConfig(hidden_dim=p.hidden_dim, num_layers=p.num_layers,
-                                  conv=conv, aggregator=aggregator, decoder=decoder)
-        train_config = MetaTrainConfig(epochs=p.cgnp_epochs)
-        return CGNPMethod(model_config, train_config, seed=seed)
-    raise ValueError(f"unknown method {name!r}; known: {ALL_METHOD_NAMES}")
+    """Instantiate one named method with budgets scaled to ``profile``.
+
+    Dispatch goes through :mod:`repro.api.registry`; this wrapper only
+    translates the profile's scale knobs into a :class:`MethodSpec`.
+    """
+    return create_method(method_spec(name, profile, seed=seed, conv=conv,
+                                     aggregator=aggregator))
 
 
 def build_methods(names: Sequence[str], profile: ExperimentProfile,

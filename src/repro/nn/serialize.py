@@ -1,4 +1,11 @@
-"""Model checkpointing: save/load ``Module`` state dicts as ``.npz`` files."""
+"""Low-level checkpoint I/O: save/load ``Module`` state dicts as ``.npz``.
+
+These functions persist *bare weight arrays*.  For deployable checkpoints
+that also carry the architecture, feature schema and training provenance
+— so loaders need no config flags — use
+:class:`repro.api.bundle.ModelBundle`, which layers a JSON header on top
+of this format (and still reads files written by :func:`save_state`).
+"""
 
 from __future__ import annotations
 

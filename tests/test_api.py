@@ -1,0 +1,323 @@
+"""Tests for the ``repro.api`` surface: registry, bundles, engine."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CommunitySearchEngine,
+    MethodRegistry,
+    MethodSpec,
+    ModelBundle,
+    available_methods,
+    create_method,
+    method_factory,
+    register_method,
+)
+from repro.api.bundle import BUNDLE_FORMAT, BUNDLE_HEADER_KEY, BUNDLE_VERSION
+from repro.core import CGNP, CGNPConfig, meta_test_task, predict_memberships
+from repro.core.infer import validate_queries
+from repro.eval import ALL_METHOD_NAMES, CORE_METHOD_NAMES
+from repro.nn.serialize import save_state
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def model(tiny_tasks):
+    train, _ = tiny_tasks
+    in_dim = train[0].features().shape[1]
+    config = CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn", decoder="ip")
+    return CGNP(in_dim, config, make_rng(3))
+
+
+@pytest.fixture
+def test_task(tiny_tasks):
+    return tiny_tasks[1][0]
+
+
+class TestMethodRegistry:
+    def test_every_paper_method_resolves(self):
+        """Every name used by the eval tables has a registered factory."""
+        for name in set(ALL_METHOD_NAMES) | set(CORE_METHOD_NAMES):
+            factory = method_factory(name)
+            assert callable(factory)
+
+    def test_available_methods_matches_paper_order(self):
+        assert available_methods() == ALL_METHOD_NAMES
+
+    def test_resolution_is_case_insensitive(self):
+        a = method_factory("CGNP-IP")
+        b = method_factory("cgnp-ip")
+        assert a is b
+
+    def test_create_builds_working_methods(self):
+        spec = MethodSpec(name="CTC")
+        method = create_method(spec)
+        assert method.name == "CTC"
+
+    def test_create_from_bare_name_with_overrides(self):
+        method = create_method("Supervised", hidden_dim=8, per_task_steps=2)
+        assert type(method).__name__ == "SupervisedGNN"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            create_method("NoSuchMethod")
+
+    def test_duplicate_registration_rejected(self):
+        registry = MethodRegistry()
+        registry.register("Foo", lambda spec: spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("foo", lambda spec: spec)
+
+    def test_canonical_name_restores_display_casing(self):
+        registry = MethodRegistry()
+        registry.register("CGNP-IP", lambda spec: spec)
+        assert registry.canonical_name("cgnp-ip") == "CGNP-IP"
+
+    def test_instances_are_independent(self):
+        registry = MethodRegistry()
+        assert "CGNP-IP" not in registry
+        assert len(registry) == 0
+
+    def test_rank_orders_names(self):
+        registry = MethodRegistry()
+        registry.register("Later", lambda spec: spec, rank=5)
+        registry.register("Sooner", lambda spec: spec, rank=1)
+        registry.register("Unranked", lambda spec: spec)
+        assert registry.names() == ("Sooner", "Later", "Unranked")
+
+    def test_spec_replace(self):
+        spec = MethodSpec(name="CGNP-IP", hidden_dim=16)
+        other = spec.replace(hidden_dim=32)
+        assert other.hidden_dim == 32 and spec.hidden_dim == 16
+
+
+class TestModelBundle:
+    def test_round_trip_predictions_identical(self, model, test_task, tmp_path):
+        path = str(tmp_path / "bundle.npz")
+        ModelBundle.from_model(model, provenance={"dataset": "fixture"}).save(path)
+        restored = ModelBundle.load(path)
+        rebuilt = restored.build_model()
+
+        queries = [e.query for e in test_task.queries]
+        before = predict_memberships(model, test_task, queries)
+        after = predict_memberships(rebuilt, test_task, queries)
+        assert before.keys() == after.keys()
+        for query in before:
+            np.testing.assert_allclose(before[query], after[query])
+
+    def test_header_metadata_round_trips(self, model, tmp_path):
+        path = str(tmp_path / "bundle.npz")
+        bundle = ModelBundle.from_model(model, method="CGNP-IP",
+                                        provenance={"dataset": "cora"})
+        bundle.save(path)
+        restored = ModelBundle.load(path)
+        assert not restored.is_legacy
+        assert restored.method == "CGNP-IP"
+        assert restored.in_dim == model.in_dim
+        assert restored.config == model.config
+        assert restored.feature_schema["in_dim"] == model.in_dim
+        assert restored.provenance["dataset"] == "cora"
+        assert restored.version == BUNDLE_VERSION
+        assert "CGNP-IP" in restored.describe()
+
+    def test_legacy_weight_only_fallback(self, model, tmp_path):
+        path = str(tmp_path / "legacy.npz")
+        save_state(model.state_dict(), path)
+        bundle = ModelBundle.load(path)
+        assert bundle.is_legacy
+        with pytest.raises(ValueError, match="legacy checkpoint"):
+            bundle.build_model()
+        rebuilt = bundle.build_model(config=model.config, in_dim=model.in_dim)
+        for name, value in model.state_dict().items():
+            np.testing.assert_allclose(rebuilt.state_dict()[name], value)
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        header = json.dumps({"format": "someone-elses-format", "version": 1})
+        save_state({BUNDLE_HEADER_KEY: np.asarray(header)}, path)
+        with pytest.raises(ValueError, match="unrecognised bundle format"):
+            ModelBundle.load(path)
+
+    def test_newer_version_rejected(self, model, tmp_path):
+        path = str(tmp_path / "future.npz")
+        header = json.dumps({"format": BUNDLE_FORMAT,
+                             "version": BUNDLE_VERSION + 1})
+        save_state({BUNDLE_HEADER_KEY: np.asarray(header)}, path)
+        with pytest.raises(ValueError, match="newer than"):
+            ModelBundle.load(path)
+
+    def test_reserved_state_key_rejected(self, model, tmp_path):
+        bundle = ModelBundle.from_model(model)
+        bundle.state[BUNDLE_HEADER_KEY] = np.zeros(1)
+        with pytest.raises(ValueError, match="reserved key"):
+            bundle.save(str(tmp_path / "clash.npz"))
+
+    def test_config_payload_ignores_unknown_fields(self, model, tmp_path):
+        """Bundles written by newer code with extra config keys still load."""
+        path = str(tmp_path / "forward.npz")
+        bundle = ModelBundle.from_model(model)
+        header = bundle.header()
+        header["config"]["a_future_knob"] = 42
+        payload = dict(bundle.state)
+        payload[BUNDLE_HEADER_KEY] = np.asarray(json.dumps(header))
+        save_state(payload, path)
+        restored = ModelBundle.load(path)
+        assert restored.config == model.config
+
+
+class TestCommunitySearchEngine:
+    def test_from_bundle_serves_queries(self, model, test_task, tmp_path):
+        path = str(tmp_path / "bundle.npz")
+        ModelBundle.from_model(model).save(path)
+        engine = CommunitySearchEngine.from_bundle(path).attach(test_task)
+        query = test_task.queries[0].query
+        members = engine.query(query)
+        assert query in members.tolist()
+
+    def test_batch_query_returns_mapping(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        queries = [e.query for e in test_task.queries[:3]]
+        result = engine.query(queries)
+        assert sorted(result) == sorted(queries)
+        for query, members in result.items():
+            assert query in members.tolist()
+
+    def test_context_encoded_once_per_task(self, model, test_task):
+        """32 queries, several batches — exactly one context encoding."""
+        engine = CommunitySearchEngine(model).attach(test_task)
+        n = test_task.graph.num_nodes
+        batch = [int(q) for q in np.arange(32) % n]
+        engine.query(batch)
+        engine.query(batch[:5])
+        engine.predict_proba(batch[0])
+        stats = engine.stats()
+        assert stats.contexts_encoded == 1
+        assert stats.context_cache_misses == 1
+        assert stats.context_cache_hits >= 3
+        assert stats.queries_served == 32 + 5 + 1
+
+    def test_batched_path_matches_per_query_loop(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        n = test_task.graph.num_nodes
+        batch = [int(q) for q in np.arange(32) % n]
+        matrix = engine.predict_proba(batch)
+        assert matrix.shape == (32, n)
+        for row, query in zip(matrix, batch):
+            np.testing.assert_allclose(
+                row, model.predict_proba(test_task, query), atol=1e-10)
+
+    def test_lru_eviction(self, model, tiny_tasks):
+        _, (task_a, task_b) = tiny_tasks
+        engine = CommunitySearchEngine(model, max_cached_contexts=1)
+        engine.attach(task_a)
+        engine.attach(task_b)
+        engine.attach(task_a)  # must re-encode: evicted by task_b
+        stats = engine.stats()
+        assert stats.contexts_encoded == 3
+        assert stats.contexts_evicted == 2
+
+    def test_refresh_forces_reencode(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        engine.attach(test_task, refresh=True)
+        assert engine.stats().contexts_encoded == 2
+
+    def test_query_without_attach_raises(self, model):
+        engine = CommunitySearchEngine(model)
+        with pytest.raises(RuntimeError, match="no task attached"):
+            engine.query(0)
+
+    def test_attach_rejects_non_task(self, model, test_task):
+        engine = CommunitySearchEngine(model)
+        with pytest.raises(TypeError, match="repro.tasks.Task"):
+            engine.attach(test_task.graph)
+
+    def test_attach_rejects_feature_dim_mismatch(self, test_task):
+        wrong_dim = test_task.features().shape[1] + 3
+        config = CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn")
+        mismatched = CGNP(wrong_dim, config, make_rng(1))
+        engine = CommunitySearchEngine(mismatched)
+        with pytest.raises(ValueError, match="-dim node features"):
+            engine.attach(test_task)
+
+    def test_out_of_range_query_raises_value_error(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.query(test_task.graph.num_nodes + 5)
+
+    def test_threshold_per_call(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        query = test_task.queries[0].query
+        permissive = engine.query(query, threshold=0.0)
+        strict = engine.query(query, threshold=1.0)
+        assert len(permissive) == test_task.graph.num_nodes
+        assert strict.tolist() == [query]
+
+    def test_detach_clears_active(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        engine.detach()
+        assert engine.active_task is None
+        with pytest.raises(RuntimeError):
+            engine.query(0)
+
+    def test_stats_snapshot_is_isolated(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        snapshot = engine.stats()
+        snapshot.queries_served = 999
+        assert engine.stats().queries_served == 0
+        data = engine.stats().as_dict()
+        assert "queries_per_second" in data
+        engine.reset_stats()
+        assert engine.stats().contexts_encoded == 0
+
+
+class TestBatchedDecoders:
+    @pytest.mark.parametrize("decoder", ["ip", "mlp", "gnn"])
+    def test_batch_matches_loop(self, decoder, tiny_tasks):
+        """query_logits_batch rows equal per-query query_logits calls."""
+        train, (task, _) = tiny_tasks
+        in_dim = train[0].features().shape[1]
+        config = CGNPConfig(hidden_dim=8, num_layers=2, conv="gcn",
+                            decoder=decoder)
+        model = CGNP(in_dim, config, make_rng(11))
+        model.eval()
+        context = model.context(task)
+        queries = np.arange(min(8, task.graph.num_nodes))
+        batched = model.query_logits_batch(context, queries, task.graph).data
+        for row, query in zip(batched, queries.tolist()):
+            single = model.query_logits(context, query, task.graph).data
+            np.testing.assert_allclose(row, single, atol=1e-10)
+
+
+class TestInferHardening:
+    def test_validate_queries_bounds(self, test_task):
+        graph = test_task.graph
+        with pytest.raises(ValueError, match="out of range"):
+            validate_queries(graph, [0, graph.num_nodes])
+        with pytest.raises(ValueError, match="out of range"):
+            validate_queries(graph, [-1])
+        with pytest.raises(ValueError, match="must be integers"):
+            validate_queries(graph, ["node-7b"])
+
+    def test_predict_memberships_threshold_per_call(self, model, test_task):
+        query = test_task.queries[0].query
+        permissive = predict_memberships(model, test_task, [query],
+                                         threshold=0.0)
+        strict = predict_memberships(model, test_task, [query], threshold=1.0)
+        assert len(permissive[query]) == test_task.graph.num_nodes
+        assert strict[query].tolist() == [query]
+
+    def test_predict_memberships_empty(self, model, test_task):
+        assert predict_memberships(model, test_task, []) == {}
+
+    def test_meta_test_does_not_mutate_task(self, model, test_task):
+        before = [e.membership.copy() for e in test_task.queries]
+        predictions = meta_test_task(model, test_task, threshold=0.3)
+        for prediction in predictions:
+            prediction.ground_truth[:] = False
+            prediction.probabilities[:] = -1.0
+        for example, original in zip(test_task.queries, before):
+            np.testing.assert_array_equal(example.membership, original)
