@@ -1,0 +1,227 @@
+"""Benchmark — block-diagonal batching vs the seed's per-task training loop.
+
+Measures meta-training throughput (tasks/second) on the synthetic SGSC
+config three ways:
+
+* **legacy** — the seed code path: one encoder forward per support pair,
+  one decoder pass per query (Python loops), one Adam step per task;
+* **batch1** — ``task_batch_size=1``: per-task steps, but all support
+  views of a task share one block-diagonal encoder forward and all
+  queries one batched decoder pass;
+* **batchK** — ``task_batch_size=K`` (default 8): K tasks collated into
+  one block-diagonal forward and one optimiser step.
+
+Also verifies (in eval mode, so dropout cannot blur the comparison) that
+the vectorised losses match the legacy per-query loss to float tolerance,
+and writes a ``BENCH_batching.json`` perf record next to this file.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_graph_batching.py [--tiny]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_graph_batching.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core import CGNP, CGNPConfig, task_batch_loss
+from repro.nn.loss import bce_with_logits
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import no_grad
+from repro.tasks import ScenarioConfig, make_scenario
+from repro.utils import make_rng
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "BENCH_batching.json")
+
+# Paper protocol shot/query counts (5-shot, 30 held-out queries) at smoke
+# graph scale; structural features (arxiv) keep the substrate synthetic and
+# the comparison about *batching*, not about BLAS on wide one-hot matrices.
+SMOKE = dict(dataset="arxiv", num_tasks=16, subgraph_nodes=50, num_support=5,
+             num_query=30, hidden_dim=64, num_layers=3, epochs=3, scale=0.5)
+TINY = dict(dataset="arxiv", num_tasks=6, subgraph_nodes=40, num_support=3,
+            num_query=10, hidden_dim=16, num_layers=2, epochs=2, scale=0.3)
+
+
+def build_tasks(params: Dict, seed: int = 0):
+    config = ScenarioConfig(
+        num_train_tasks=params["num_tasks"], num_valid_tasks=1,
+        num_test_tasks=1, subgraph_nodes=params["subgraph_nodes"],
+        num_support=params["num_support"], num_query=params["num_query"],
+        seed=seed)
+    return make_scenario("sgsc", params["dataset"], config,
+                         scale=params["scale"]).train
+
+
+def build_model(tasks, params: Dict, seed: int = 5) -> CGNP:
+    return CGNP(tasks[0].features().shape[1],
+                CGNPConfig(hidden_dim=params["hidden_dim"],
+                           num_layers=params["num_layers"], conv="gcn",
+                           decoder="ip"), make_rng(seed))
+
+
+def legacy_task_loss(model: CGNP, task):
+    """The seed's Eq. 19 loop: per-support-view encode, per-query decode."""
+    views = [model.encode_view(task, example) for example in task.support]
+    context = model.aggregator(views)
+    total = None
+    for example in task.queries:
+        logits = model.query_logits(context, example.query, task.graph)
+        nodes, targets = example.label_arrays()
+        loss = bce_with_logits(logits.take_rows(nodes), targets, reduction="sum")
+        total = loss if total is None else total + loss
+    num_labels = sum(1 + e.num_labels for e in task.queries)
+    return total * (1.0 / num_labels)
+
+
+def run_legacy_epochs(model: CGNP, tasks, epochs: int, rng) -> int:
+    """The seed's Algorithm 1: one optimiser step per task."""
+    optimizer = Adam(model.parameters(), lr=5e-4)
+    model.train()
+    order = np.arange(len(tasks))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for index in order:
+            optimizer.zero_grad()
+            loss = legacy_task_loss(model, tasks[int(index)])
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+    return epochs * len(tasks)
+
+
+def run_batched_epochs(model: CGNP, tasks, epochs: int, rng,
+                       task_batch_size: int) -> int:
+    """Mini-batched Algorithm 1: one step per block-diagonal task batch."""
+    optimizer = Adam(model.parameters(), lr=5e-4)
+    model.train()
+    order = np.arange(len(tasks))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for start in range(0, len(order), task_batch_size):
+            chunk = [tasks[int(i)] for i in order[start:start + task_batch_size]]
+            optimizer.zero_grad()
+            loss = task_batch_loss(model, chunk)
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+    return epochs * len(tasks)
+
+
+def check_loss_equivalence(tasks, params: Dict, batch_size: int) -> float:
+    """Max |legacy − batched| task-loss gap in eval mode (must be ~0)."""
+    model = build_model(tasks, params)
+    model.eval()
+    worst = 0.0
+    with no_grad():
+        legacy = [float(legacy_task_loss(model, task).data) for task in tasks]
+        for start in range(0, len(tasks), batch_size):
+            chunk = tasks[start:start + batch_size]
+            batched = float(task_batch_loss(model, chunk).data)
+            reference = float(np.mean(legacy[start:start + len(chunk)]))
+            worst = max(worst, abs(batched - reference))
+    return worst
+
+
+def time_path(label: str, runner, params: Dict, tasks, repeats: int = 3) -> Dict:
+    # Warm-up epoch on a throwaway model: fills the per-task feature /
+    # collation / operator caches both code paths rely on, so the timed
+    # region measures steady-state training throughput.
+    runner(build_model(tasks, params), tasks, 1, make_rng(0))
+    best = None
+    for repeat in range(repeats):
+        model = build_model(tasks, params)
+        start = time.perf_counter()
+        tasks_done = runner(model, tasks, params["epochs"], make_rng(1))
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, tasks_done)
+    elapsed, tasks_done = best
+    throughput = tasks_done / elapsed
+    print(f"  {label:<8} {tasks_done:4d} task-updates in {elapsed:7.2f}s "
+          f"-> {throughput:8.2f} tasks/s")
+    return {"label": label, "seconds": elapsed, "task_updates": tasks_done,
+            "tasks_per_second": throughput}
+
+
+def run_benchmark(params: Dict, batch_size: int, out_path: str) -> Dict:
+    print(f"[bench_graph_batching] synthetic SGSC ({params['dataset']}), "
+          f"{params['num_tasks']} tasks of ~{params['subgraph_nodes']} nodes, "
+          f"{params['num_support']}-shot / {params['num_query']} queries, "
+          f"hidden={params['hidden_dim']}, {params['epochs']} epochs, "
+          f"task_batch_size={batch_size}")
+    tasks = build_tasks(params)
+    loss_gap = check_loss_equivalence(tasks, params, batch_size)
+    print(f"  loss equivalence (eval mode): max |legacy - batched| = {loss_gap:.2e}")
+    assert loss_gap < 1e-9, "batched loss must match the per-task path"
+
+    results = [
+        time_path("legacy", run_legacy_epochs, params, tasks),
+        time_path("batch1",
+                  lambda m, t, e, r: run_batched_epochs(m, t, e, r, 1),
+                  params, tasks),
+        time_path(f"batch{batch_size}",
+                  lambda m, t, e, r: run_batched_epochs(m, t, e, r, batch_size),
+                  params, tasks),
+    ]
+    legacy_tps = results[0]["tasks_per_second"]
+    for row in results:
+        row["speedup_vs_legacy"] = row["tasks_per_second"] / legacy_tps
+    speedup = results[-1]["speedup_vs_legacy"]
+    print(f"  speedup at task_batch_size={batch_size}: {speedup:.2f}x")
+
+    record = {
+        "benchmark": "graph_batching_meta_training",
+        "config": dict(params, task_batch_size=batch_size,
+                       scenario="sgsc", conv="gcn", decoder="ip"),
+        "max_loss_gap": loss_gap,
+        "results": results,
+        "speedup_batched_vs_legacy": speedup,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2)
+    print(f"  wrote {out_path}")
+    return record
+
+
+def test_batching_speedup(tmp_path):
+    """Pytest entry point: the batched path must beat the seed loop >=3x.
+
+    Wall-clock benchmarks on shared machines are noisy; one retry
+    absorbs a transiently loaded CPU without weakening the bar.
+    """
+    best = 0.0
+    for attempt in range(2):
+        record = run_benchmark(dict(SMOKE), batch_size=8,
+                               out_path=str(tmp_path / "BENCH_batching.json"))
+        assert record["max_loss_gap"] < 1e-9
+        best = max(best, record["speedup_batched_vs_legacy"])
+        if best >= 3.0:
+            break
+    assert best >= 3.0, f"batched speedup {best:.2f}x < 3x"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI-sized config (seconds, not minutes)")
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="perf-record JSON path")
+    args = parser.parse_args()
+    params = dict(TINY if args.tiny else SMOKE)
+    run_benchmark(params, batch_size=args.batch_size, out_path=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,9 @@ that regime:
   :class:`~repro.api.bundle.ModelBundle` — no architecture flags;
 * ``engine.attach(task)`` encodes the task's support set into the context
   matrix **once** and caches it (an LRU holds the most recent tasks, so
-  one engine can serve several graphs);
+  one engine can serve several graphs); ``engine.attach_many(tasks)``
+  bulk-loads several sessions with a single block-diagonal encoder
+  forward (:meth:`CGNP.context_batch <repro.core.model.CGNP.context_batch>`);
 * ``engine.query(nodes)`` answers any number of query nodes with a single
   *batched* decoder pass over the cached context;
 * ``engine.stats()`` reports queries served, cache hits/misses and
@@ -26,7 +28,7 @@ import dataclasses
 import os
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -126,6 +128,58 @@ class CommunitySearchEngine:
         ``refresh=True`` forces re-encoding (e.g. after the task's support
         set changed).
         """
+        self._validate_task(task)
+        if refresh:
+            self._contexts.pop(task, None)
+        self._context_for(task)
+        self._active = task
+        return self
+
+    def attach_many(self, tasks: Sequence[Task],
+                    refresh: bool = False) -> "CommunitySearchEngine":
+        """Bulk-attach several tasks with ONE batched context encoding.
+
+        All yet-uncached tasks are encoded in a single block-diagonal
+        encoder forward via :meth:`CGNP.context_batch
+        <repro.core.model.CGNP.context_batch>` — the multi-tenant warm-up
+        path: an engine serving many graphs pays one forward, not one per
+        task.  The last task of the sequence becomes the active session.
+
+        ``refresh=True`` re-encodes every given task even if cached.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("attach_many requires at least one task")
+        for task in tasks:
+            self._validate_task(task)
+        seen = set()
+        missing: List[Task] = []
+        for task in tasks:
+            if id(task) in seen:
+                continue
+            seen.add(id(task))
+            if refresh:
+                self._contexts.pop(task, None)
+            if task in self._contexts:
+                self._contexts.move_to_end(task)
+                self._stats.context_cache_hits += 1
+            else:
+                missing.append(task)
+        if missing:
+            self._stats.context_cache_misses += len(missing)
+            start = time.perf_counter()
+            with no_grad():
+                contexts = self.model.context_batch(missing)
+            self._stats.context_seconds += time.perf_counter() - start
+            self._stats.contexts_encoded += len(missing)
+            for task, context in zip(missing, contexts):
+                self._contexts[task] = context
+            self._evict()
+        self._active = tasks[-1]
+        return self
+
+    def _validate_task(self, task: Task) -> None:
+        """Type- and feature-schema-check one task before encoding."""
         if not isinstance(task, Task):
             raise TypeError(
                 f"attach expects a repro.tasks.Task (a graph plus its "
@@ -138,11 +192,6 @@ class CommunitySearchEngine:
                 f"task produces {feature_dim}-dim node features but the "
                 f"model was built for in_dim={self.model.in_dim}; check the "
                 f"dataset/scale and the bundle's feature schema")
-        if refresh:
-            self._contexts.pop(task, None)
-        self._context_for(task)
-        self._active = task
-        return self
 
     def detach(self, task: Optional[Task] = None) -> None:
         """Drop a task's cached context (the active task by default)."""
@@ -174,10 +223,13 @@ class CommunitySearchEngine:
         self._stats.context_seconds += time.perf_counter() - start
         self._stats.contexts_encoded += 1
         self._contexts[task] = context
+        self._evict()
+        return context
+
+    def _evict(self) -> None:
         while len(self._contexts) > self.max_cached_contexts:
             self._contexts.popitem(last=False)
             self._stats.contexts_evicted += 1
-        return context
 
     # ------------------------------------------------------------------
     # Serving

@@ -5,6 +5,12 @@ the network for a query ``q`` is the node feature matrix with a binary
 query-indicator channel (``I_q(v) = 1`` iff ``v = q``), the output is a
 per-node membership logit, and the loss is BCE over the query's sampled
 positive/negative nodes (Eq. 3).
+
+The training loops route every (task, example) mini-batch through ONE
+block-diagonal forward (:func:`batch_loss`): each pair contributes one
+replica block to a :class:`~repro.graph.GraphBatch`, so the MAML/Reptile
+inner loops and the Supervised/FeatTrans per-task fits cost one GNN pass
+per step instead of one per example.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..graph import GraphBatch
 from ..gnn.encoder import GNNNodeClassifier, make_query_features
 from ..nn.loss import bce_with_logits
 from ..nn.optim import Optimizer
@@ -22,7 +29,9 @@ from ..tasks.task import QueryExample, Task
 __all__ = [
     "example_inputs",
     "example_loss",
+    "batch_loss",
     "predict_example_proba",
+    "predict_task_proba",
     "train_steps",
     "feature_dim_of_tasks",
 ]
@@ -53,6 +62,59 @@ def example_loss(model: GNNNodeClassifier, task: Task, example: QueryExample,
         * (1.0 / len(nodes))
 
 
+class _CollatedBatch:
+    """A (task, example) batch collated for block-diagonal forwards.
+
+    Holds everything step-invariant about the batch — the graph
+    collation, the stacked indicator-prefixed inputs, and the offset
+    label indices — so a multi-step trainer pays collation once, not
+    once per gradient step.
+    """
+
+    def __init__(self, batch: Sequence[Tuple[Task, QueryExample]],
+                 mark_positives: bool = False):
+        if not batch:
+            raise ValueError("empty training batch")
+        self.size = len(batch)
+        self.graph_batch = GraphBatch([task.graph for task, _ in batch])
+        self.inputs = np.concatenate(
+            [example_inputs(task, example, mark_positives=mark_positives).data
+             for task, example in batch], axis=0)
+        nodes: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+        for index, (_, example) in enumerate(batch):
+            example_nodes, example_targets = example.label_arrays()
+            nodes.append(self.graph_batch.global_ids(index, example_nodes))
+            targets.append(example_targets)
+            # Per-example 1/|labels| normalisation, matching example_loss.
+            weights.append(np.full(example_nodes.shape[0],
+                                   1.0 / example_nodes.shape[0]))
+        self.nodes = np.concatenate(nodes)
+        self.targets = np.concatenate(targets)
+        self.weights = np.concatenate(weights)
+
+    def loss(self, model: GNNNodeClassifier) -> Tensor:
+        logits = model(Tensor(self.inputs), self.graph_batch)  # (total_nodes,)
+        loss = bce_with_logits(logits.take_rows(self.nodes), self.targets,
+                               weights=self.weights, reduction="sum")
+        return loss * (1.0 / self.size)
+
+
+def batch_loss(model: GNNNodeClassifier,
+               batch: Sequence[Tuple[Task, QueryExample]],
+               mark_positives: bool = False) -> Tensor:
+    """Mean per-example BCE of a (task, example) batch in ONE forward.
+
+    Each pair's task graph becomes one block of a block-diagonal
+    :class:`~repro.graph.GraphBatch`; the classifier runs once over the
+    collation and every example's supervised nodes are gathered from the
+    flat logits with offset indices.  Numerically identical (up to float
+    summation order) to ``mean(example_loss(pair) for pair in batch)``.
+    """
+    return _CollatedBatch(batch, mark_positives=mark_positives).loss(model)
+
+
 def predict_example_proba(model: GNNNodeClassifier, task: Task,
                           example: QueryExample,
                           mark_positives: bool = False) -> np.ndarray:
@@ -65,30 +127,46 @@ def predict_example_proba(model: GNNNodeClassifier, task: Task,
     return probabilities
 
 
+def predict_task_proba(model: GNNNodeClassifier, task: Task,
+                       examples: Sequence[QueryExample],
+                       mark_positives: bool = False) -> List[np.ndarray]:
+    """Per-node probabilities for every query of a task in ONE forward.
+
+    Each example contributes one replica block of the task graph; the
+    result is one ``(num_nodes,)`` row per example, identical to calling
+    :func:`predict_example_proba` per query.
+    """
+    if not examples:
+        return []
+    graph_batch = GraphBatch.replicate(task.graph, len(examples))
+    inputs = np.concatenate(
+        [example_inputs(task, example, mark_positives=mark_positives).data
+         for example in examples], axis=0)
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(inputs), graph_batch)
+        probabilities = logits.sigmoid().data
+    return [np.array(chunk) for chunk in graph_batch.split_rows(probabilities)]
+
+
 def train_steps(model: GNNNodeClassifier, optimizer: Optimizer,
                 batch: Sequence[Tuple[Task, QueryExample]], num_steps: int,
                 rng: Optional[np.random.Generator] = None,
                 mark_positives: bool = False) -> List[float]:
     """``num_steps`` full-batch gradient steps over (task, example) pairs.
 
-    Returns the per-step mean losses.  The pair order is reshuffled per
-    step when ``rng`` is given.
+    Every step is one block-diagonal forward over the whole batch,
+    collated once up front (:class:`_CollatedBatch`) — the per-example
+    GNN pass is gone.  Returns the per-step mean losses.  ``rng`` is
+    accepted for signature compatibility; the full-batch loss is
+    order-invariant, so no reshuffling is needed.
     """
-    if not batch:
-        raise ValueError("empty training batch")
+    collated = _CollatedBatch(batch, mark_positives=mark_positives)
     model.train()
     losses: List[float] = []
-    order = np.arange(len(batch))
     for _ in range(num_steps):
-        if rng is not None:
-            rng.shuffle(order)
         optimizer.zero_grad()
-        total: Optional[Tensor] = None
-        for index in order:
-            task, example = batch[int(index)]
-            loss = example_loss(model, task, example, mark_positives=mark_positives)
-            total = loss if total is None else total + loss
-        total = total * (1.0 / len(batch))
+        total = collated.loss(model)
         total.backward()
         optimizer.step()
         losses.append(float(total.data))

@@ -18,7 +18,7 @@ from ..nn.optim import Adam, SGD
 from ..tasks.task import QueryExample, Task
 from ..utils import derive_rng
 from .base import CommunitySearchMethod, QueryPrediction, threshold_prediction
-from .common import feature_dim_of_tasks, predict_example_proba, train_steps
+from .common import feature_dim_of_tasks, predict_task_proba, train_steps
 
 __all__ = ["FeatTransConfig", "FeatureTransfer"]
 
@@ -77,12 +77,9 @@ class FeatureTransfer(CommunitySearchMethod):
         batch = [(task, example) for example in task.support]
         train_steps(model, optimizer, batch, self.config.finetune_steps, rng)
 
-        predictions = []
-        for example in task.queries:
-            probabilities = predict_example_proba(model, task, example)
-            predictions.append(threshold_prediction(
-                probabilities, example.query, example.membership))
-        return predictions
+        probabilities = predict_task_proba(model, task, task.queries)
+        return [threshold_prediction(row, example.query, example.membership)
+                for row, example in zip(probabilities, task.queries)]
 
     def _clone_model(self, task: Task) -> GNNNodeClassifier:
         c = self.config

@@ -26,7 +26,7 @@ from ..nn.optim import Adam, SGD
 from ..tasks.task import Task
 from ..utils import derive_rng
 from .base import CommunitySearchMethod, QueryPrediction, threshold_prediction
-from .common import example_loss, feature_dim_of_tasks, predict_example_proba, train_steps
+from .common import batch_loss, feature_dim_of_tasks, predict_task_proba, train_steps
 
 __all__ = ["MAMLConfig", "MAML"]
 
@@ -90,16 +90,14 @@ class MAML(CommunitySearchMethod):
                 task_model.load_state_dict(self._model.state_dict())
                 self._inner_adapt(task_model, task, c.inner_steps_train, rng)
                 # Outer gradient: query-set loss at the adapted parameters
-                # (first-order approximation of Eq. 5).
+                # (first-order approximation of Eq. 5), all queries in one
+                # block-diagonal forward.
+                if not task.queries:
+                    continue
                 task_model.zero_grad()
                 task_model.train()
-                total = None
-                for example in task.queries:
-                    loss = example_loss(task_model, task, example)
-                    total = loss if total is None else total + loss
-                if total is None:
-                    continue
-                total = total * (1.0 / len(task.queries))
+                total = batch_loss(task_model,
+                                   [(task, example) for example in task.queries])
                 total.backward()
                 # Transplant the adapted model's gradients onto the meta
                 # parameters and step the outer optimiser.
@@ -120,12 +118,9 @@ class MAML(CommunitySearchMethod):
         model.load_state_dict(self._model.state_dict())
         self._inner_adapt(model, task, self.config.inner_steps_test, rng)
 
-        predictions = []
-        for example in task.queries:
-            probabilities = predict_example_proba(model, task, example)
-            predictions.append(threshold_prediction(
-                probabilities, example.query, example.membership))
-        return predictions
+        probabilities = predict_task_proba(model, task, task.queries)
+        return [threshold_prediction(row, example.query, example.membership)
+                for row, example in zip(probabilities, task.queries)]
 
 
 # ----------------------------------------------------------------------

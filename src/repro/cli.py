@@ -71,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--out", required=True, help="output bundle (.npz) path")
     train.add_argument("--epochs", type=int, default=40)
     train.add_argument("--tasks", type=int, default=12)
+    train.add_argument("--task-batch-size", type=int, default=1,
+                       help="tasks per optimiser step (block-diagonal "
+                            "mini-batch meta-training; 1 = per-task steps)")
     train.add_argument("--subgraph-nodes", type=int, default=100)
     train.add_argument("--hidden-dim", type=int, default=64)
     train.add_argument("--layers", type=int, default=2)
@@ -172,7 +175,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
                               decoder=args.decoder)
     model = CGNP(in_dim, model_config, rng)
     print(model.describe())
-    state = meta_train(model, tasks.train, MetaTrainConfig(epochs=args.epochs),
+    state = meta_train(model, tasks.train,
+                       MetaTrainConfig(epochs=args.epochs,
+                                       task_batch_size=args.task_batch_size),
                        rng, valid_tasks=tasks.valid)
     bundle = ModelBundle.from_model(model, provenance={
         "dataset": args.dataset,
@@ -180,6 +185,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "scale": args.scale,
         "subgraph_nodes": args.subgraph_nodes,
         "num_train_tasks": args.tasks,
+        "task_batch_size": args.task_batch_size,
         "seed": args.seed,
         "epochs_trained": len(state.epoch_losses),
         "final_loss": float(state.epoch_losses[-1]),

@@ -20,7 +20,8 @@ from .decoders import (
 )
 from .infer import QueryPrediction, meta_test_task, predict_memberships, validate_queries
 from .model import CGNP, CGNPConfig
-from .train import MetaTrainConfig, TrainState, evaluate_loss, meta_train, task_loss
+from .train import (MetaTrainConfig, TrainState, evaluate_loss, meta_train,
+                    task_batch_loss, task_loss)
 
 __all__ = [
     "CGNP",
@@ -40,6 +41,7 @@ __all__ = [
     "TrainState",
     "meta_train",
     "task_loss",
+    "task_batch_loss",
     "evaluate_loss",
     "QueryPrediction",
     "meta_test_task",

@@ -11,11 +11,17 @@ CGNP combines the per-query views ``{H_q}`` into one context matrix ``H``
 
 All three are permutation-invariant in the support set, a property the
 test suite checks with hypothesis.
+
+Every aggregator accepts the views either as a Python sequence of
+``(n, d)`` tensors or as one stacked ``(k, n, d)`` tensor — the batched
+encoder produces the stacked form directly (one contiguous reshape of
+its block-diagonal output), so no per-view Python loop is needed on the
+hot path.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -27,27 +33,22 @@ from ..nn.tensor import Tensor
 __all__ = ["SumAggregator", "MeanAggregator", "AttentionAggregator",
            "make_aggregator", "AGGREGATORS"]
 
+#: Views as a list of ``(n, d)`` tensors or one stacked ``(k, n, d)`` tensor.
+Views = Union[Sequence[Tensor], Tensor]
+
 
 class SumAggregator(Module):
     """Elementwise sum of views (Eq. 14)."""
 
-    def forward(self, views: Sequence[Tensor]) -> Tensor:
-        _check_views(views)
-        out = views[0]
-        for view in views[1:]:
-            out = out + view
-        return out
+    def forward(self, views: Views) -> Tensor:
+        return _stack_views(views).sum(axis=0)
 
 
 class MeanAggregator(Module):
     """Elementwise average of views."""
 
-    def forward(self, views: Sequence[Tensor]) -> Tensor:
-        _check_views(views)
-        out = views[0]
-        for view in views[1:]:
-            out = out + view
-        return out * (1.0 / len(views))
+    def forward(self, views: Views) -> Tensor:
+        return _stack_views(views).mean(axis=0)
 
 
 class AttentionAggregator(Module):
@@ -78,11 +79,10 @@ class AttentionAggregator(Module):
         self.w1 = Parameter(init.glorot_uniform((dim, proj_dim), rng))
         self.w2 = Parameter(init.glorot_uniform((dim, proj_dim), rng))
 
-    def forward(self, views: Sequence[Tensor]) -> Tensor:
-        _check_views(views)
-        if len(views) == 1:
-            return views[0]
-        stacked = F.stack(list(views), axis=0)          # (Q, n, d)
+    def forward(self, views: Views) -> Tensor:
+        stacked = _stack_views(views)                   # (Q, n, d)
+        if stacked.shape[0] == 1:
+            return stacked.squeeze(0)
         per_node = stacked.transpose(1, 0, 2)           # (n, Q, d)
         queries = per_node.matmul(self.w1)               # (n, Q, d')
         keys = per_node.matmul(self.w2)                  # (n, Q, d')
@@ -107,10 +107,19 @@ def make_aggregator(name: str, dim: int, rng: np.random.Generator) -> Module:
     return AGGREGATORS[key]()
 
 
-def _check_views(views: Sequence[Tensor]) -> None:
+def _stack_views(views: Views) -> Tensor:
+    """Coerce either input form to one stacked ``(k, n, d)`` tensor."""
+    if isinstance(views, Tensor):
+        if views.ndim != 3:
+            raise ValueError(
+                f"stacked views must be (k, n, d), got shape {views.shape}")
+        if views.shape[0] == 0:
+            raise ValueError("aggregator received no views")
+        return views
     if not views:
         raise ValueError("aggregator received no views")
     shape = views[0].shape
     for view in views[1:]:
         if view.shape != shape:
             raise ValueError(f"view shape mismatch: {view.shape} vs {shape}")
+    return F.stack(list(views), axis=0)

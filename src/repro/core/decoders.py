@@ -29,6 +29,7 @@ from ..graph import Graph
 from ..nn.layers import MLP
 from ..nn.module import Module
 from ..nn.tensor import Tensor
+from ..gnn.conv import GraphLike
 from ..gnn.encoder import GNNEncoder
 
 __all__ = ["Decoder", "InnerProductDecoder", "MLPDecoder", "GNNDecoder",
@@ -44,8 +45,14 @@ class Decoder(Module):
     matmul instead of ``B`` full decoder passes.
     """
 
-    def transform(self, context: Tensor, graph: Graph) -> Tensor:
-        """Query-independent context transform (identity by default)."""
+    def transform(self, context: Tensor, graph: GraphLike) -> Tensor:
+        """Query-independent context transform (identity by default).
+
+        ``graph`` may be a single task graph or a block-diagonal
+        :class:`~repro.graph.GraphBatch` whose node layout matches the
+        stacked ``context`` rows — the mini-batch trainer transforms the
+        concatenated contexts of a whole task batch in one pass.
+        """
         return context
 
     def forward(self, context: Tensor, query: int, graph: Graph) -> Tensor:
@@ -88,7 +95,7 @@ class MLPDecoder(Decoder):
         super().__init__()
         self.mlp = MLP([dim, hidden_dim, dim], rng)
 
-    def transform(self, context: Tensor, graph: Graph) -> Tensor:
+    def transform(self, context: Tensor, graph: GraphLike) -> Tensor:
         return self.mlp(context)
 
 
@@ -104,7 +111,7 @@ class GNNDecoder(Decoder):
         super().__init__()
         self.gnn = GNNEncoder(dim, dim, num_layers, conv, dropout, rng)
 
-    def transform(self, context: Tensor, graph: Graph) -> Tensor:
+    def transform(self, context: Tensor, graph: GraphLike) -> Tensor:
         return self.gnn(context, graph)
 
 

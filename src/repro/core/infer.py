@@ -15,6 +15,7 @@ ground-truth masks are copied into the predictions.
 from __future__ import annotations
 
 import dataclasses
+import operator
 from typing import Dict, List, Sequence, Union
 
 import numpy as np
@@ -44,10 +45,12 @@ def validate_queries(graph: Graph,
 
     Raises a :class:`ValueError` naming the offending ids instead of
     letting an out-of-range index surface as a raw numpy error deep in
-    the decoder.
+    the decoder.  Non-integral ids (e.g. ``3.7``) are rejected rather
+    than silently truncated to a different node.
     """
     try:
-        indices = np.asarray([int(q) for q in queries], dtype=np.int64)
+        indices = np.asarray([operator.index(q) for q in queries],
+                             dtype=np.int64)
     except (TypeError, ValueError) as exc:
         raise ValueError(f"query nodes must be integers: {exc}") from exc
     out_of_range = indices[(indices < 0) | (indices >= graph.num_nodes)]

@@ -23,12 +23,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..graph import Graph
+from ..graph import Graph, GraphBatch
+from ..nn import functional as F
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
-from ..gnn.encoder import GNNEncoder, make_query_features
+from ..gnn.encoder import GNNEncoder, make_query_features, make_support_features
 from ..tasks.task import QueryExample, Task
-from .aggregators import make_aggregator
+from .aggregators import MeanAggregator, SumAggregator, make_aggregator
 from .decoders import make_decoder
 
 __all__ = ["CGNPConfig", "CGNP"]
@@ -97,12 +98,138 @@ class CGNP(Module):
         return self.encoder(Tensor(inputs), task.graph)
 
     def context(self, task: Task, support: Optional[Sequence[QueryExample]] = None) -> Tensor:
-        """⊕ over the support views: the task's context matrix ``H``."""
-        examples = list(support) if support is not None else task.support
-        if not examples:
-            raise ValueError("context requires at least one support example")
-        views = [self.encode_view(task, example) for example in examples]
-        return self.aggregator(views)
+        """⊕ over the support views: the task's context matrix ``H``.
+
+        All support views are encoded in one block-diagonal forward via
+        :meth:`context_batch` — ``k`` support pairs cost one encoder pass,
+        not ``k``.
+        """
+        supports = None if support is None else [support]
+        return self.context_batch([task], supports=supports)[0]
+
+    def context_batch(self, tasks: Sequence[Task],
+                      supports: Optional[Sequence[Sequence[QueryExample]]] = None,
+                      ) -> List[Tensor]:
+        """Context matrices of several tasks from ONE batched encoder forward.
+
+        Every support view of every task becomes one block of a
+        block-diagonal :class:`~repro.graph.GraphBatch` (a task with
+        ``k`` shots contributes ``k`` replicas of its graph), the encoder
+        runs once over the whole collation, and each task's views are
+        combined by the commutative ⊕.  Tasks may differ in graph size
+        and shot count (ragged batches).
+
+        Parameters
+        ----------
+        tasks:
+            Tasks to encode, in output order.
+        supports:
+            Optional per-task support overrides (parallel to ``tasks``);
+            ``None`` entries fall back to the task's own support set.
+        """
+        combined, offsets = self.context_concat(tasks, supports)
+        if len(offsets) == 2:
+            return [combined]
+        return [combined[int(start):int(stop)]
+                for start, stop in zip(offsets[:-1], offsets[1:])]
+
+    def context_concat(self, tasks: Sequence[Task],
+                       supports: Optional[Sequence[Sequence[QueryExample]]] = None,
+                       ):
+        """Row-concatenated contexts of several tasks plus their offsets.
+
+        Returns ``(contexts, offsets)`` where ``contexts`` is the
+        ``(sum n_t, d)`` vertical stack of the per-task context matrices
+        and ``offsets[t] : offsets[t + 1]`` is task ``t``'s row range —
+        the exact node layout of ``GraphBatch(task graphs)``, so the
+        batched trainer can push the whole stack through the decoder
+        transform in one pass.  For the sum/mean ⊕ the view combination
+        itself is a single segment reduction (no per-task Python loop).
+        """
+        tasks, support_sets = self._resolve_supports(tasks, supports)
+        hidden, layout = self._encode_support_views(tasks, support_sets)
+        sizes = np.asarray([n for _, n in layout], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+
+        if isinstance(self.aggregator, (SumAggregator, MeanAggregator)):
+            if all(k == 1 for k, _ in layout):
+                return hidden, offsets          # 1-shot: views are contexts
+            segment = np.concatenate(
+                [np.tile(np.arange(n, dtype=np.int64), k) + offset
+                 for (k, n), offset in zip(layout, offsets[:-1])])
+            combined = F.scatter_add(hidden, segment, int(offsets[-1]))
+            if isinstance(self.aggregator, MeanAggregator):
+                inverse_counts = np.concatenate(
+                    [np.full(n, 1.0 / k) for k, n in layout])
+                combined = combined * Tensor(inverse_counts[:, None])
+            return combined, offsets
+
+        contexts: List[Tensor] = []
+        row = 0
+        width = self.config.hidden_dim
+        for k, n in layout:
+            views = hidden[row:row + k * n].reshape(k, n, width)
+            contexts.append(self.aggregator(views))
+            row += k * n
+        return F.concat(contexts, axis=0), offsets
+
+    def _resolve_supports(self, tasks: Sequence[Task],
+                          supports: Optional[Sequence[Sequence[QueryExample]]],
+                          ):
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("context_batch requires at least one task")
+        if supports is None:
+            return tasks, [list(t.support) for t in tasks]
+        supports = list(supports)
+        if len(supports) != len(tasks):
+            raise ValueError(
+                f"got {len(supports)} support sets for {len(tasks)} tasks")
+        return tasks, [list(s) if s is not None else list(t.support)
+                       for t, s in zip(tasks, supports)]
+
+    def _encode_support_views(self, tasks: Sequence[Task],
+                              support_sets: Sequence[List[QueryExample]],
+                              ):
+        """One block-diagonal encoder forward over every support view.
+
+        Returns the stacked view embeddings and the ``(shots, nodes)``
+        layout of each task's row blocks.
+        """
+        inputs: List[np.ndarray] = []
+        replicas: List[Graph] = []
+        layout: List[tuple] = []
+        for task, examples in zip(tasks, support_sets):
+            if not examples:
+                raise ValueError("context requires at least one support example")
+            is_own_support = (len(examples) == len(task.support)
+                              and all(a is b for a, b
+                                      in zip(examples, task.support)))
+            if is_own_support:
+                # Common path: the task's own support stack is cached
+                # across training steps.
+                inputs.append(task.support_features(
+                    self.config.use_attributes, self.config.use_structural))
+            else:
+                features = task.features(self.config.use_attributes,
+                                         self.config.use_structural)
+                inputs.append(make_support_features(features, examples))
+            replicas.extend([task.graph] * len(examples))
+            layout.append((len(examples), task.graph.num_nodes))
+        if len(replicas) == 1:
+            # Single 1-shot task: the graph itself (permanently cached ops).
+            batch = replicas[0]
+        elif len(tasks) == 1:
+            # Single task, k shots: the replica collation only depends on
+            # (graph, k), so memoise it on the graph across training steps.
+            count = len(replicas)
+            batch = tasks[0].graph.cached_ops(
+                f"gnn.replica_batch.{count}",
+                lambda graph: GraphBatch([graph] * count))
+        else:
+            batch = GraphBatch(replicas)
+        stacked = inputs[0] if len(inputs) == 1 else np.concatenate(inputs, axis=0)
+        return self.encoder(Tensor(stacked), batch), layout
 
     def query_logits(self, context: Tensor, query: int, graph: Graph) -> Tensor:
         """ρ_θ(q*, H): membership logits of all nodes for query ``q*``."""

@@ -1,17 +1,21 @@
 """``repro.gnn`` — graph convolutions and K-layer encoders."""
 
-from .conv import CONV_TYPES, GATConv, GCNConv, GraphOps, SAGEConv, graph_ops
-from .encoder import DEFAULTS, GNNEncoder, GNNNodeClassifier, make_query_features
+from .conv import (CONV_TYPES, GATConv, GCNConv, GraphLike, GraphOps,
+                   SAGEConv, graph_ops)
+from .encoder import (DEFAULTS, GNNEncoder, GNNNodeClassifier,
+                      make_query_features, make_support_features)
 
 __all__ = [
     "GCNConv",
     "GATConv",
     "SAGEConv",
     "GraphOps",
+    "GraphLike",
     "graph_ops",
     "CONV_TYPES",
     "GNNEncoder",
     "GNNNodeClassifier",
     "make_query_features",
+    "make_support_features",
     "DEFAULTS",
 ]

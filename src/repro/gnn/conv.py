@@ -12,31 +12,43 @@ formulation:
   ``H' = [H ‖ D^{-1} A H] W``.
 
 Graph-dependent operators (normalised adjacency, edge lists with
-self-loops) are computed once per :class:`~repro.graph.graph.Graph` and
-cached on the instance by :func:`graph_ops`.
+self-loops) are computed once per graph — or per
+:class:`~repro.graph.batch.GraphBatch` — and memoised through the
+explicit :meth:`~repro.graph.graph.OpsCache.cached_ops` API by
+:func:`graph_ops`.  A block-diagonal batch adjacency normalises
+blockwise (no edges cross blocks, self-loops are per node), so the same
+operators drive single-graph and batched forwards without aliasing.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from ..graph import Graph
+from ..graph import Graph, GraphBatch, stack_csr
 from ..nn import functional as F
 from ..nn import init
 from ..nn.module import Module, Parameter
 from ..nn.sparse import normalized_adjacency, row_normalized_adjacency, spmm
 from ..nn.tensor import Tensor
 
-__all__ = ["GraphOps", "graph_ops", "GCNConv", "GATConv", "SAGEConv", "CONV_TYPES"]
+__all__ = ["GraphOps", "GraphLike", "graph_ops",
+           "GCNConv", "GATConv", "SAGEConv", "CONV_TYPES"]
+
+#: Anything the convolutions can message-pass over: a single graph or a
+#: block-diagonal collation of several.
+GraphLike = Union[Graph, GraphBatch]
+
+#: Cache key under which :func:`graph_ops` memoises its operators.
+GRAPH_OPS_KEY = "gnn.message_passing"
 
 
 @dataclasses.dataclass
 class GraphOps:
-    """Cached message-passing operators of one graph."""
+    """Cached message-passing operators of one graph (or graph batch)."""
 
     norm_adj: sp.csr_matrix          # GCN: D̂^{-1/2}(A+I)D̂^{-1/2}
     row_norm_adj: sp.csr_matrix      # SAGE mean aggregator: D^{-1}A
@@ -45,22 +57,50 @@ class GraphOps:
     num_nodes: int
 
 
-def graph_ops(graph: Graph) -> GraphOps:
-    """Build (or fetch the cached) :class:`GraphOps` for ``graph``."""
-    cached = getattr(graph, "_gnn_ops", None)
-    if cached is not None:
-        return cached
+def _build_graph_ops(graph: GraphLike) -> GraphOps:
+    if isinstance(graph, GraphBatch):
+        return _compose_batch_ops(graph)
     src, dst = graph.directed_edges()
     loops = np.arange(graph.num_nodes, dtype=np.int64)
-    ops = GraphOps(
+    return GraphOps(
         norm_adj=normalized_adjacency(graph.adjacency),
         row_norm_adj=row_normalized_adjacency(graph.adjacency),
         edge_src=np.concatenate([src, loops]),
         edge_dst=np.concatenate([dst, loops]),
         num_nodes=graph.num_nodes,
     )
-    graph._gnn_ops = ops  # lazily memoised on the graph instance
-    return ops
+
+
+def _compose_batch_ops(batch: GraphBatch) -> GraphOps:
+    """Assemble a batch's operators from its members' cached operators.
+
+    Normalisation is blockwise (no edges cross blocks, self-loops are per
+    node), so the block-diagonal of the members' normalised adjacencies
+    *is* the normalised block-diagonal adjacency — each member graph pays
+    for degree normalisation once, ever, no matter how many collations it
+    appears in (replicated support views share one member entry).
+    """
+    member_ops = [graph_ops(g) for g in batch.graphs]
+    offsets = batch.offsets[:-1]
+    return GraphOps(
+        norm_adj=stack_csr([ops.norm_adj for ops in member_ops]),
+        row_norm_adj=stack_csr([ops.row_norm_adj for ops in member_ops]),
+        edge_src=np.concatenate(
+            [ops.edge_src + offset for ops, offset in zip(member_ops, offsets)]),
+        edge_dst=np.concatenate(
+            [ops.edge_dst + offset for ops, offset in zip(member_ops, offsets)]),
+        num_nodes=batch.num_nodes,
+    )
+
+
+def graph_ops(graph: GraphLike) -> GraphOps:
+    """Build (or fetch the cached) :class:`GraphOps` for ``graph``.
+
+    Works identically for a :class:`~repro.graph.graph.Graph` and a
+    :class:`~repro.graph.batch.GraphBatch`; each instance memoises its
+    own operators via :meth:`~repro.graph.graph.OpsCache.cached_ops`.
+    """
+    return graph.cached_ops(GRAPH_OPS_KEY, _build_graph_ops)
 
 
 class GCNConv(Module):

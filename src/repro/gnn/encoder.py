@@ -19,14 +19,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..graph import Graph
 from ..nn import functional as F
 from ..nn.layers import Dropout
 from ..nn.module import Module, ModuleList
 from ..nn.tensor import Tensor
-from .conv import CONV_TYPES, graph_ops
+from .conv import CONV_TYPES, GraphLike, graph_ops
 
-__all__ = ["GNNEncoder", "GNNNodeClassifier", "make_query_features", "DEFAULTS"]
+__all__ = ["GNNEncoder", "GNNNodeClassifier", "make_query_features",
+           "make_support_features", "DEFAULTS"]
 
 DEFAULTS = {"num_layers": 3, "hidden_dim": 128, "dropout": 0.2, "conv": "gat"}
 
@@ -43,6 +43,30 @@ def make_query_features(features: np.ndarray, query: int,
     if positives is not None and len(positives) > 0:
         indicator[np.asarray(positives, dtype=np.int64), 0] = 1.0
     return np.concatenate([indicator, features], axis=1)
+
+
+def make_support_features(features: np.ndarray, examples: Sequence,
+                          mark_positives: bool = True) -> np.ndarray:
+    """Stacked indicator-prefixed inputs for ``k`` support views of one graph.
+
+    Returns a ``(k * n, 1 + d)`` matrix: row block ``i`` is
+    :func:`make_query_features` for ``examples[i]``, matching the node
+    layout of ``GraphBatch.replicate(graph, k)`` — so one batched
+    encoder forward covers every support pair at once (Eq. 13 for the
+    whole support set).
+    """
+    if not examples:
+        raise ValueError("make_support_features needs at least one example")
+    n = features.shape[0]
+    k = len(examples)
+    indicator = np.zeros((k * n, 1))
+    for i, example in enumerate(examples):
+        base = i * n
+        indicator[base + int(example.query), 0] = 1.0
+        positives = example.positives if mark_positives else None
+        if positives is not None and len(positives) > 0:
+            indicator[base + np.asarray(positives, dtype=np.int64), 0] = 1.0
+    return np.concatenate([indicator, np.tile(features, (k, 1))], axis=1)
 
 
 class GNNEncoder(Module):
@@ -97,7 +121,7 @@ class GNNEncoder(Module):
         # ELU after attention layers (GAT convention), ReLU otherwise.
         return F.elu(x) if self.conv_name == "gat" else F.relu(x)
 
-    def forward(self, features: Tensor, graph: Graph) -> Tensor:
+    def forward(self, features: Tensor, graph: GraphLike) -> Tensor:
         ops = graph_ops(graph)
         x = features
         last = self.num_layers - 1
@@ -131,12 +155,12 @@ class GNNNodeClassifier(Module):
         else:
             self.head = conv_cls(hidden_dim, 1, rng)
 
-    def forward(self, features: Tensor, graph: Graph) -> Tensor:
+    def forward(self, features: Tensor, graph: GraphLike) -> Tensor:
         hidden = self.encoder(features, graph)
         logits = self.head(hidden, graph_ops(graph))
         return logits.reshape(-1)
 
-    def predict_proba(self, features: Tensor, graph: Graph) -> np.ndarray:
+    def predict_proba(self, features: Tensor, graph: GraphLike) -> np.ndarray:
         """Membership probability of every node (no autograd)."""
         from ..nn.tensor import no_grad
 

@@ -18,6 +18,7 @@ from .algorithms import (
     triangle_counts,
     trussness,
 )
+from .batch import GraphBatch, stack_csr
 from .builders import from_edge_list, from_networkx, to_networkx
 from .features import feature_dimension, node_feature_matrix, structural_features
 from .generators import (
@@ -26,10 +27,13 @@ from .generators import (
     ego_network,
     planted_partition_graph,
 )
-from .graph import Graph
+from .graph import Graph, OpsCache
 
 __all__ = [
     "Graph",
+    "GraphBatch",
+    "OpsCache",
+    "stack_csr",
     "core_numbers",
     "k_core_subgraph",
     "connected_k_core_containing",

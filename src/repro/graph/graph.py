@@ -13,15 +13,53 @@ node → community-ids index for O(1) lookups by the task samplers.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, Tuple, TypeVar)
 
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "OpsCache"]
+
+T = TypeVar("T")
 
 
-class Graph:
+class OpsCache:
+    """Explicit memoisation of derived message-passing operators.
+
+    GNN layers need graph-dependent operators (normalised adjacency,
+    edge lists with self-loops) that are expensive to rebuild per forward
+    pass.  Instead of stashing them in ad-hoc private attributes, graphs
+    and graph batches expose :meth:`cached_ops`: callers supply a cache
+    key and a builder, and get back the memoised value.  Each instance
+    owns its cache, so a :class:`~repro.graph.batch.GraphBatch` and its
+    member graphs can never alias each other's operators, and
+    :meth:`invalidate_cached_ops` gives mutating call sites a sanctioned
+    way to drop stale entries.
+    """
+
+    def cached_ops(self, key: str, builder: Callable[["OpsCache"], T]) -> T:
+        """Return the value cached under ``key``, building it on first use."""
+        cache = self.__dict__.setdefault("_ops_cache", {})
+        try:
+            return cache[key]
+        except KeyError:
+            value = builder(self)
+            cache[key] = value
+            return value
+
+    def invalidate_cached_ops(self, key: Optional[str] = None) -> None:
+        """Drop one cached operator set (or all of them when ``key`` is None)."""
+        cache = self.__dict__.get("_ops_cache")
+        if cache is None:
+            return
+        if key is None:
+            cache.clear()
+        else:
+            cache.pop(key, None)
+
+
+class Graph(OpsCache):
     """Undirected attributed graph with optional community ground truth.
 
     Parameters

@@ -313,30 +313,40 @@ class Tensor:
         a, b = self, other
 
         def backward(grad: np.ndarray) -> None:
+            # Each operand's VJP can be a large matmul of its own, so skip
+            # it outright when that operand does not require grad (e.g. the
+            # constant input-feature matrix of a first GNN layer).
             a_data, b_data = a.data, b.data
             if a_data.ndim == 1 and b_data.ndim == 1:
                 # dot product: grad is scalar
-                Tensor._accumulate(a, grad * b_data)
-                Tensor._accumulate(b, grad * a_data)
+                if a.requires_grad:
+                    Tensor._accumulate(a, grad * b_data)
+                if b.requires_grad:
+                    Tensor._accumulate(b, grad * a_data)
                 return
             if a_data.ndim == 1:
                 # (k,) @ (..., k, n) -> (..., n)
-                ga = np.matmul(b_data, np.expand_dims(grad, -1)).squeeze(-1)
-                Tensor._accumulate(a, ga)
-                gb = np.expand_dims(a_data, -1) * np.expand_dims(grad, -2)
-                Tensor._accumulate(b, gb)
+                if a.requires_grad:
+                    ga = np.matmul(b_data, np.expand_dims(grad, -1)).squeeze(-1)
+                    Tensor._accumulate(a, ga)
+                if b.requires_grad:
+                    gb = np.expand_dims(a_data, -1) * np.expand_dims(grad, -2)
+                    Tensor._accumulate(b, gb)
                 return
             if b_data.ndim == 1:
                 # (..., m, k) @ (k,) -> (..., m)
-                ga = np.expand_dims(grad, -1) * b_data
-                Tensor._accumulate(a, ga)
-                gb = np.matmul(np.swapaxes(a_data, -1, -2), np.expand_dims(grad, -1))
-                Tensor._accumulate(b, gb.squeeze(-1))
+                if a.requires_grad:
+                    ga = np.expand_dims(grad, -1) * b_data
+                    Tensor._accumulate(a, ga)
+                if b.requires_grad:
+                    gb = np.matmul(np.swapaxes(a_data, -1, -2),
+                                   np.expand_dims(grad, -1))
+                    Tensor._accumulate(b, gb.squeeze(-1))
                 return
-            ga = np.matmul(grad, np.swapaxes(b_data, -1, -2))
-            gb = np.matmul(np.swapaxes(a_data, -1, -2), grad)
-            Tensor._accumulate(a, ga)
-            Tensor._accumulate(b, gb)
+            if a.requires_grad:
+                Tensor._accumulate(a, np.matmul(grad, np.swapaxes(b_data, -1, -2)))
+            if b.requires_grad:
+                Tensor._accumulate(b, np.matmul(np.swapaxes(a_data, -1, -2), grad))
 
         return Tensor._make(out_data, (self, other), backward)
 

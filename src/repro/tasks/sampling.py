@@ -32,7 +32,14 @@ def eligible_queries(graph: Graph, min_positive: int,
     A node qualifies if it belongs to a ground-truth community with at
     least ``min_positive`` *other* members in the graph, and (optionally)
     if at least one of its communities is in ``allowed_communities``.
+
+    The graph's community member sets are reused as-is (they are already
+    frozensets) rather than re-copied per node, and the common
+    single-membership case skips the union entirely — O(total community
+    membership) over the whole graph instead of O(nodes × community
+    size).
     """
+    members_of = graph.communities
     result = []
     for node in graph.nodes_with_ground_truth():
         node = int(node)
@@ -41,10 +48,11 @@ def eligible_queries(graph: Graph, min_positive: int,
             memberships = [c for c in memberships if c in allowed_communities]
             if not memberships:
                 continue
-        community = set()
-        for index in memberships:
-            community |= set(graph.community_members(index))
-        if len(community) - 1 >= min_positive:
+        if len(memberships) == 1:
+            size = len(members_of[memberships[0]])
+        else:
+            size = len(frozenset().union(*(members_of[c] for c in memberships)))
+        if size - 1 >= min_positive:
             result.append(node)
     return result
 

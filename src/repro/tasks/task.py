@@ -108,6 +108,10 @@ class Task:
         self.use_structural = use_structural
         self._features: Optional[np.ndarray] = None
         self._feature_config: Optional[Tuple[bool, bool]] = None
+        self._support_features: Optional[np.ndarray] = None
+        self._support_features_key: Optional[tuple] = None
+        self._label_stack: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._label_stack_key: Optional[tuple] = None
 
     @property
     def num_shots(self) -> int:
@@ -134,6 +138,56 @@ class Task:
                 use_structural=use_structural)
             self._feature_config = config
         return self._features
+
+    def support_features(self, use_attributes: Optional[bool] = None,
+                         use_structural: Optional[bool] = None) -> np.ndarray:
+        """Stacked indicator-prefixed inputs of every support view, cached.
+
+        Row block ``i`` is the Eq. 13 encoder input ``[I_l ‖ A]`` of
+        support example ``i`` — the layout consumed by the batched
+        encoder (one block per support view).  The stack is step-invariant
+        during meta-training, so it is cached like :meth:`features`; the
+        cache keys on the feature configuration and the identity of the
+        support examples, so replacing the support set invalidates it.
+        """
+        from ..gnn.encoder import make_support_features
+
+        features = self.features(use_attributes, use_structural)
+        key = (self._feature_config, tuple(id(e) for e in self.support))
+        if self._support_features is None or self._support_features_key != key:
+            self._support_features = make_support_features(features, self.support)
+            self._support_features_key = key
+        return self._support_features
+
+    def query_label_stack(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened query-set supervision, cached: ``(rows, cols, targets)``.
+
+        Entry ``i`` supervises node ``cols[i]`` of query-set example
+        ``rows[i]`` with target ``targets[i]`` — the fancy index into a
+        ``(num_queries, num_nodes)`` logit matrix that lets the trainer
+        score every query of the task in one gather instead of a
+        per-query Python loop.  Cached on the example identities, like
+        :meth:`support_features`.
+        """
+        key = tuple(id(e) for e in self.queries)
+        if self._label_stack is None or self._label_stack_key != key:
+            rows: List[np.ndarray] = []
+            cols: List[np.ndarray] = []
+            targets: List[np.ndarray] = []
+            for position, example in enumerate(self.queries):
+                nodes, target = example.label_arrays()
+                rows.append(np.full(nodes.shape[0], position, dtype=np.int64))
+                cols.append(nodes)
+                targets.append(target)
+            if not rows:
+                empty = np.zeros(0, dtype=np.int64)
+                self._label_stack = (empty, empty, np.zeros(0))
+            else:
+                self._label_stack = (np.concatenate(rows),
+                                     np.concatenate(cols),
+                                     np.concatenate(targets))
+            self._label_stack_key = key
+        return self._label_stack
 
     def all_examples(self) -> List[QueryExample]:
         return self.support + self.queries
