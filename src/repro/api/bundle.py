@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..core.model import CGNP, CGNPConfig
+from ..nn.backend import precision, resolve_dtype
 from ..nn.serialize import load_state, save_state
 from ..utils import make_rng
 
@@ -74,6 +75,11 @@ class ModelBundle:
         (``in_dim``, ``use_attributes``, ``use_structural``).
     provenance:
         Free-form training lineage (dataset, epochs, final loss, seed…).
+    dtype:
+        Element-width name (``"float32"``/``"float64"``) the weights were
+        trained and saved at.  Legacy headers without the field — and
+        weight-only archives — default to ``"float64"``, the historical
+        behaviour.
     version:
         Header format version this bundle was read from / written at.
     """
@@ -84,6 +90,7 @@ class ModelBundle:
     method: str = "CGNP"
     feature_schema: Dict[str, Any] = dataclasses.field(default_factory=dict)
     provenance: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    dtype: str = "float64"
     version: int = BUNDLE_VERSION
 
     @property
@@ -111,6 +118,7 @@ class ModelBundle:
             method=method or f"CGNP-{config.decoder.upper()}",
             feature_schema=schema,
             provenance=dict(provenance or {}),
+            dtype=np.dtype(model.dtype).name,
         )
 
     # ------------------------------------------------------------------
@@ -123,6 +131,7 @@ class ModelBundle:
             "version": self.version,
             "method": self.method,
             "in_dim": self.in_dim,
+            "dtype": self.dtype,
             "config": dataclasses.asdict(self.config) if self.config else None,
             "feature_schema": self.feature_schema,
             "provenance": self.provenance,
@@ -160,6 +169,16 @@ class ModelBundle:
                 f"{path}: bundle version {version} is newer than the "
                 f"supported version {BUNDLE_VERSION}; upgrade repro")
         in_dim = header.get("in_dim")
+        # Headers written before the precision refactor carry no dtype;
+        # they were trained at the historical float64 default.  Validate
+        # here so a corrupt header surfaces as a load error (which CLIs
+        # handle), not deep inside model construction.
+        dtype = header.get("dtype", "float64")
+        try:
+            dtype = resolve_dtype(dtype).name
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: bundle header carries an invalid "
+                             f"dtype {dtype!r}: {exc}") from exc
         return cls(
             state=state,
             config=_config_from_payload(header.get("config")),
@@ -167,6 +186,7 @@ class ModelBundle:
             method=header.get("method", "CGNP"),
             feature_schema=header.get("feature_schema") or {},
             provenance=header.get("provenance") or {},
+            dtype=dtype,
             version=version,
         )
 
@@ -175,11 +195,14 @@ class ModelBundle:
     # ------------------------------------------------------------------
     def build_model(self, rng: Optional[np.random.Generator] = None,
                     config: Optional[CGNPConfig] = None,
-                    in_dim: Optional[int] = None) -> CGNP:
+                    in_dim: Optional[int] = None,
+                    dtype: Optional[str] = None) -> CGNP:
         """Rebuild the saved model, in eval mode, weights restored.
 
         ``config`` / ``in_dim`` override the stored values — required for
-        legacy checkpoints, which carry neither.
+        legacy checkpoints, which carry neither.  ``dtype`` overrides the
+        bundle's recorded precision (weights are cast on load), which is
+        how a float64-trained checkpoint is served at float32.
         """
         config = config or self.config
         if in_dim is None:
@@ -189,8 +212,11 @@ class ModelBundle:
                 "legacy checkpoint without an embedded architecture: pass "
                 "config= and in_dim= explicitly (or re-save the model as a "
                 "ModelBundle)")
-        model = CGNP(int(in_dim), config, rng if rng is not None else make_rng(0))
-        model.load_state_dict(self.state)
+        target = resolve_dtype(dtype if dtype is not None else self.dtype)
+        with precision(target):
+            model = CGNP(int(in_dim), config,
+                         rng if rng is not None else make_rng(0))
+        model.load_state_dict(self.state)  # casts weights to the target dtype
         model.eval()
         return model
 
@@ -203,4 +229,4 @@ class ModelBundle:
         suffix = f", trained on {origin}" if origin else ""
         return (f"{self.method} bundle v{self.version} (in_dim={self.in_dim}, "
                 f"conv={c.conv}, dec={c.decoder}, layers={c.num_layers}, "
-                f"hidden={c.hidden_dim}{suffix})")
+                f"hidden={c.hidden_dim}, dtype={self.dtype}{suffix})")

@@ -17,6 +17,13 @@ that regime:
 * ``engine.stats()`` reports queries served, cache hits/misses and
   encode/decode latency.
 
+Serving precision: ``from_bundle(path, dtype="float32")`` casts the
+weights on load and computes every context/decoder pass at float32 —
+the recommended serving default (≈2x spmm/matmul throughput, membership
+probabilities equal to well below any sensible threshold).  The CLI
+``repro query`` already defaults to it; ``dtype=None`` keeps the
+bundle's recorded training precision.
+
 >>> engine = CommunitySearchEngine.from_bundle("model.npz").attach(task)
 >>> community = engine.query(42)                  # ndarray of node ids
 >>> communities = engine.query([3, 7, 42])        # {node: ndarray}
@@ -100,14 +107,25 @@ class CommunitySearchEngine:
     def from_bundle(cls, bundle: Union[str, "os.PathLike[str]", ModelBundle],
                     threshold: float = 0.5, max_cached_contexts: int = 8,
                     rng: Optional[np.random.Generator] = None,
+                    dtype: Optional[str] = None,
                     ) -> "CommunitySearchEngine":
-        """Build an engine from a saved :class:`ModelBundle` (or its path)."""
+        """Build an engine from a saved :class:`ModelBundle` (or its path).
+
+        ``dtype`` selects the serving precision (weights are cast on
+        load); ``None`` keeps the precision the bundle was trained at.
+        """
         if not isinstance(bundle, ModelBundle):
             bundle = ModelBundle.load(os.fspath(bundle))
-        engine = cls(bundle.build_model(rng=rng), threshold=threshold,
+        engine = cls(bundle.build_model(rng=rng, dtype=dtype),
+                     threshold=threshold,
                      max_cached_contexts=max_cached_contexts)
         engine.bundle = bundle
         return engine
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The precision every context/decoder pass runs at."""
+        return np.dtype(self.model.dtype)
 
     # ------------------------------------------------------------------
     # Task sessions
@@ -152,6 +170,7 @@ class CommunitySearchEngine:
             raise ValueError("attach_many requires at least one task")
         for task in tasks:
             self._validate_task(task)
+        self._check_uniform_feature_dtype(tasks)
         seen = set()
         missing: List[Task] = []
         for task in tasks:
@@ -177,6 +196,26 @@ class CommunitySearchEngine:
             self._evict()
         self._active = tasks[-1]
         return self
+
+    def _check_uniform_feature_dtype(self, tasks: Sequence[Task]) -> None:
+        """Reject a bulk attach that mixes feature precisions.
+
+        The batched warm-up concatenates every task's feature stack into
+        one matrix; numpy would silently upcast a mixed-dtype stack to
+        the widest member, defeating the point of serving at float32.
+        Mixing dtypes is almost always an accident (tasks materialised
+        under different precision policies), so fail loudly instead.
+        """
+        config = self.model.config
+        dtypes = {task.features(config.use_attributes,
+                                config.use_structural).dtype.name
+                  for task in tasks}
+        if len(dtypes) > 1:
+            raise ValueError(
+                f"attach_many got tasks with mixed feature dtypes "
+                f"{sorted(dtypes)}; materialise every task under one "
+                f"precision policy (repro.nn.backend.precision) or attach "
+                f"them one by one with attach()")
 
     def _validate_task(self, task: Task) -> None:
         """Type- and feature-schema-check one task before encoding."""

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.infer import QueryPrediction
+from ..nn.backend import resolve_dtype
 from ..tasks.task import Task
 
 __all__ = ["CommunitySearchMethod", "QueryPrediction", "threshold_prediction"]
@@ -34,11 +35,16 @@ def threshold_prediction(probabilities: np.ndarray, query: int,
                          ground_truth: np.ndarray,
                          threshold: float = 0.5) -> QueryPrediction:
     """Build a :class:`QueryPrediction` from per-node probabilities."""
-    members = np.asarray(probabilities) >= threshold
+    probabilities = np.asarray(probabilities)
+    if not np.issubdtype(probabilities.dtype, np.floating):
+        # Boolean/integer masks from the algorithmic baselines become
+        # floats at whatever width the precision policy dictates.
+        probabilities = probabilities.astype(resolve_dtype())
+    members = probabilities >= threshold
     members[int(query)] = True
     return QueryPrediction(
         query=int(query),
-        probabilities=np.asarray(probabilities, dtype=np.float64),
+        probabilities=probabilities,
         members=np.flatnonzero(members),
         ground_truth=np.asarray(ground_truth, dtype=bool),
     )

@@ -27,6 +27,7 @@ import numpy as np
 
 from .api import CommunitySearchEngine, ModelBundle, available_methods
 from .core import CGNP, CGNPConfig, MetaTrainConfig, meta_train
+from .nn.backend import precision
 from .datasets import dataset_names, load_dataset
 from .eval import (
     PROFILES,
@@ -81,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--decoder", default="ip", choices=["ip", "mlp", "gnn"])
     train.add_argument("--scale", type=float, default=0.5)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--dtype", default="float64",
+                       choices=["float32", "float64"],
+                       help="training precision policy (recorded in the "
+                            "bundle header and provenance; float64 matches "
+                            "the paper-exact numerics, float32 roughly "
+                            "doubles spmm/matmul throughput)")
 
     query = sub.add_parser("query", help="answer queries with a saved bundle")
     query.add_argument("--dataset", default="cora")
@@ -92,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="membership probability threshold")
     query.add_argument("--scale", type=float, default=0.5)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--dtype", default="float32",
+                       choices=["float32", "float64", "bundle"],
+                       help="serving precision (default float32 — weights "
+                            "are cast on load; 'bundle' keeps the precision "
+                            "the model was trained at)")
     # Deprecated no-ops: the architecture now travels inside the bundle.
     # Still accepted (and used as a fallback for legacy weight-only files)
     # so existing scripts keep working, with a warning.
@@ -163,22 +175,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    config = ScenarioConfig(
-        num_train_tasks=args.tasks, num_valid_tasks=max(args.tasks // 4, 1),
-        num_test_tasks=1, subgraph_nodes=args.subgraph_nodes,
-        num_support=3, num_query=6, seed=args.seed)
-    tasks = make_scenario("sgsc", args.dataset, config, scale=args.scale)
-    rng = make_rng(args.seed)
-    in_dim = tasks.train[0].features().shape[1]
-    model_config = CGNPConfig(hidden_dim=args.hidden_dim,
-                              num_layers=args.layers, conv=args.conv,
-                              decoder=args.decoder)
-    model = CGNP(in_dim, model_config, rng)
-    print(model.describe())
-    state = meta_train(model, tasks.train,
-                       MetaTrainConfig(epochs=args.epochs,
-                                       task_batch_size=args.task_batch_size),
-                       rng, valid_tasks=tasks.valid)
+    with precision(args.dtype):
+        # The whole pipeline — task materialisation, model init, training —
+        # runs under the requested policy, so a float32 run never touches a
+        # float64 array.
+        config = ScenarioConfig(
+            num_train_tasks=args.tasks, num_valid_tasks=max(args.tasks // 4, 1),
+            num_test_tasks=1, subgraph_nodes=args.subgraph_nodes,
+            num_support=3, num_query=6, seed=args.seed)
+        tasks = make_scenario("sgsc", args.dataset, config, scale=args.scale)
+        rng = make_rng(args.seed)
+        in_dim = tasks.train[0].features().shape[1]
+        model_config = CGNPConfig(hidden_dim=args.hidden_dim,
+                                  num_layers=args.layers, conv=args.conv,
+                                  decoder=args.decoder)
+        model = CGNP(in_dim, model_config, rng)
+        print(model.describe())
+        state = meta_train(model, tasks.train,
+                           MetaTrainConfig(epochs=args.epochs,
+                                           task_batch_size=args.task_batch_size),
+                           rng, valid_tasks=tasks.valid)
     bundle = ModelBundle.from_model(model, provenance={
         "dataset": args.dataset,
         "scenario": "sgsc",
@@ -187,6 +203,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "num_train_tasks": args.tasks,
         "task_batch_size": args.task_batch_size,
         "seed": args.seed,
+        "dtype": args.dtype,
         "epochs_trained": len(state.epoch_losses),
         "final_loss": float(state.epoch_losses[-1]),
     })
@@ -222,6 +239,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                           num_support=3, num_query=3)
     task = sampler.sample_task(make_rng(args.seed))
     in_dim = task.features().shape[1]
+    # "bundle" defers to the checkpoint's recorded training precision.
+    serving_dtype = None if args.dtype == "bundle" else args.dtype
 
     try:
         bundle = ModelBundle.load(args.model)
@@ -234,7 +253,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
               "from flags/defaults; re-save with `repro train` to embed it",
               file=sys.stderr)
         model = bundle.build_model(make_rng(0), config=_legacy_config(args),
-                                   in_dim=in_dim)
+                                   in_dim=in_dim, dtype=serving_dtype)
         engine = CommunitySearchEngine(model, threshold=args.threshold)
     else:
         print(f"loaded {bundle.describe()}")
@@ -244,7 +263,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                   f"produces {in_dim}-dim features", file=sys.stderr)
             return 2
         engine = CommunitySearchEngine.from_bundle(bundle,
-                                                   threshold=args.threshold)
+                                                   threshold=args.threshold,
+                                                   dtype=serving_dtype)
 
     try:
         engine.attach(task)
@@ -263,7 +283,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     stats = engine.stats()
     print(f"engine: {stats.queries_served} query(ies), "
           f"{stats.contexts_encoded} context encoding(s), "
-          f"decode {stats.decode_seconds * 1e3:.1f} ms")
+          f"decode {stats.decode_seconds * 1e3:.1f} ms, "
+          f"dtype {engine.dtype.name}")
     return 0
 
 

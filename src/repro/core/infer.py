@@ -87,7 +87,9 @@ def meta_test_task(model: CGNP, task: Task, threshold: float = 0.5) -> List[Quer
     probabilities = _membership_probabilities(model, task, queries)
     predictions: List[QueryPrediction] = []
     for row, example in zip(probabilities, task.queries):
-        row = np.array(row, dtype=np.float64)
+        # Fresh per-query copy (at the model's own dtype) so predictions
+        # never alias the shared probability matrix.
+        row = np.array(row)
         predictions.append(QueryPrediction(
             query=example.query,
             probabilities=row,
@@ -111,5 +113,5 @@ def predict_memberships(model: CGNP, task: Task, queries: Sequence[int],
     if indices.size == 0:
         return {}
     probabilities = _membership_probabilities(model, task, indices)
-    return {query: _community_of(np.array(row, dtype=np.float64), query, threshold)
+    return {query: _community_of(np.array(row), query, threshold)
             for row, query in zip(probabilities, indices.tolist())}

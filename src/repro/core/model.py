@@ -25,6 +25,7 @@ import numpy as np
 
 from ..graph import Graph, GraphBatch
 from ..nn import functional as F
+from ..nn.backend import resolve_dtype
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
 from ..gnn.encoder import GNNEncoder, make_query_features, make_support_features
@@ -71,6 +72,12 @@ class CGNP(Module):
         super().__init__()
         self.config = config
         self.in_dim = in_dim
+        # The ambient precision policy at construction time becomes the
+        # model's own dtype: parameters are initialised at it, and every
+        # forward entry point casts incoming features to it, so a float32
+        # model computes fully in float32 even on float64-materialised
+        # tasks (and vice versa).
+        self.dtype = resolve_dtype()
         self.encoder = GNNEncoder(
             in_dim + 1,  # +1 for the ground-truth indicator channel
             config.hidden_dim,
@@ -95,7 +102,7 @@ class CGNP(Module):
         """
         features = task.features(self.config.use_attributes, self.config.use_structural)
         inputs = make_query_features(features, example.query, example.positives)
-        return self.encoder(Tensor(inputs), task.graph)
+        return self.encoder(Tensor(inputs, dtype=self.dtype), task.graph)
 
     def context(self, task: Task, support: Optional[Sequence[QueryExample]] = None) -> Tensor:
         """⊕ over the support views: the task's context matrix ``H``.
@@ -160,7 +167,8 @@ class CGNP(Module):
             combined = F.scatter_add(hidden, segment, int(offsets[-1]))
             if isinstance(self.aggregator, MeanAggregator):
                 inverse_counts = np.concatenate(
-                    [np.full(n, 1.0 / k) for k, n in layout])
+                    [np.full(n, 1.0 / k, dtype=combined.dtype)
+                     for k, n in layout])
                 combined = combined * Tensor(inverse_counts[:, None])
             return combined, offsets
 
@@ -229,7 +237,7 @@ class CGNP(Module):
         else:
             batch = GraphBatch(replicas)
         stacked = inputs[0] if len(inputs) == 1 else np.concatenate(inputs, axis=0)
-        return self.encoder(Tensor(stacked), batch), layout
+        return self.encoder(Tensor(stacked, dtype=self.dtype), batch), layout
 
     def query_logits(self, context: Tensor, query: int, graph: Graph) -> Tensor:
         """ρ_θ(q*, H): membership logits of all nodes for query ``q*``."""
@@ -284,9 +292,15 @@ class CGNP(Module):
         members[int(query)] = True
         return np.flatnonzero(members)
 
+    def to_dtype(self, dtype) -> "CGNP":
+        """Cast parameters *and* the model's input-cast dtype in place."""
+        super().to_dtype(dtype)
+        self.dtype = resolve_dtype(dtype)
+        return self
+
     def describe(self) -> str:
         """One-line architecture summary for logs and reports."""
         c = self.config
         return (f"CGNP(conv={c.conv}, agg={c.aggregator}, dec={c.decoder}, "
                 f"layers={c.num_layers}, hidden={c.hidden_dim}, "
-                f"params={self.num_parameters()})")
+                f"dtype={self.dtype.name}, params={self.num_parameters()})")

@@ -11,13 +11,16 @@ formulation:
 * **SAGEConv** (Hamilton et al. 2017), mean aggregator:
   ``H' = [H ‖ D^{-1} A H] W``.
 
-Graph-dependent operators (normalised adjacency, edge lists with
-self-loops) are computed once per graph — or per
-:class:`~repro.graph.batch.GraphBatch` — and memoised through the
-explicit :meth:`~repro.graph.graph.OpsCache.cached_ops` API by
-:func:`graph_ops`.  A block-diagonal batch adjacency normalises
-blockwise (no edges cross blocks, self-loops are per node), so the same
-operators drive single-graph and batched forwards without aliasing.
+Graph-dependent operators (normalised adjacency + its pre-transposed
+backward operator, edge lists with self-loops) are computed once per
+graph — or per :class:`~repro.graph.batch.GraphBatch` — **per element
+dtype**, and memoised through the explicit
+:meth:`~repro.graph.graph.OpsCache.cached_ops` API by :func:`graph_ops`
+under the ``(op, dtype)`` key convention
+(``"gnn.message_passing.float32"`` and ``".float64"`` variants coexist
+on one graph).  A block-diagonal batch adjacency normalises blockwise
+(no edges cross blocks, self-loops are per node), so the same operators
+drive single-graph and batched forwards without aliasing.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import scipy.sparse as sp
 from ..graph import Graph, GraphBatch, stack_csr
 from ..nn import functional as F
 from ..nn import init
+from ..nn.backend import resolve_dtype
 from ..nn.module import Module, Parameter
 from ..nn.sparse import normalized_adjacency, row_normalized_adjacency, spmm
 from ..nn.tensor import Tensor
@@ -42,65 +46,90 @@ __all__ = ["GraphOps", "GraphLike", "graph_ops",
 #: block-diagonal collation of several.
 GraphLike = Union[Graph, GraphBatch]
 
-#: Cache key under which :func:`graph_ops` memoises its operators.
+#: Cache-key *family* under which :func:`graph_ops` memoises operators;
+#: the concrete key appends the dtype name per the ``(op, dtype)``
+#: convention (see :class:`~repro.graph.graph.OpsCache`), and
+#: ``invalidate_cached_ops(GRAPH_OPS_KEY)`` drops every dtype variant.
 GRAPH_OPS_KEY = "gnn.message_passing"
 
 
 @dataclasses.dataclass
 class GraphOps:
-    """Cached message-passing operators of one graph (or graph batch)."""
+    """Cached message-passing operators of one graph (or graph batch),
+    all materialised at one element dtype (``dtype``)."""
 
     norm_adj: sp.csr_matrix          # GCN: D̂^{-1/2}(A+I)D̂^{-1/2}
+    norm_adj_t: sp.csr_matrix        # its backward operator (symmetric ⇒ alias)
     row_norm_adj: sp.csr_matrix      # SAGE mean aggregator: D^{-1}A
+    row_norm_adj_t: sp.csr_matrix    # (D^{-1}A)ᵀ, pre-converted for backward
     edge_src: np.ndarray             # GAT: directed edges + self-loops
     edge_dst: np.ndarray
     num_nodes: int
+    dtype: np.dtype
 
 
-def _build_graph_ops(graph: GraphLike) -> GraphOps:
+def _build_graph_ops(graph: GraphLike, dtype: np.dtype) -> GraphOps:
     if isinstance(graph, GraphBatch):
-        return _compose_batch_ops(graph)
+        return _compose_batch_ops(graph, dtype)
     src, dst = graph.directed_edges()
     loops = np.arange(graph.num_nodes, dtype=np.int64)
+    norm_adj = normalized_adjacency(graph.adjacency, dtype=dtype)
+    row_norm_adj = row_normalized_adjacency(graph.adjacency, dtype=dtype)
     return GraphOps(
-        norm_adj=normalized_adjacency(graph.adjacency),
-        row_norm_adj=row_normalized_adjacency(graph.adjacency),
+        norm_adj=norm_adj,
+        # The symmetric normalisation is its own transpose, so the
+        # backward operator aliases the forward one.
+        norm_adj_t=norm_adj,
+        row_norm_adj=row_norm_adj,
+        row_norm_adj_t=row_norm_adj.T.tocsr(),
         edge_src=np.concatenate([src, loops]),
         edge_dst=np.concatenate([dst, loops]),
         num_nodes=graph.num_nodes,
+        dtype=dtype,
     )
 
 
-def _compose_batch_ops(batch: GraphBatch) -> GraphOps:
+def _compose_batch_ops(batch: GraphBatch, dtype: np.dtype) -> GraphOps:
     """Assemble a batch's operators from its members' cached operators.
 
     Normalisation is blockwise (no edges cross blocks, self-loops are per
     node), so the block-diagonal of the members' normalised adjacencies
     *is* the normalised block-diagonal adjacency — each member graph pays
     for degree normalisation once, ever, no matter how many collations it
-    appears in (replicated support views share one member entry).
+    appears in (replicated support views share one member entry).  The
+    same holds for the transposed backward operators (a block-diagonal
+    transpose is the block-diagonal of the transposes).
     """
-    member_ops = [graph_ops(g) for g in batch.graphs]
+    member_ops = [graph_ops(g, dtype) for g in batch.graphs]
     offsets = batch.offsets[:-1]
+    norm_adj = stack_csr([ops.norm_adj for ops in member_ops])
     return GraphOps(
-        norm_adj=stack_csr([ops.norm_adj for ops in member_ops]),
+        norm_adj=norm_adj,
+        norm_adj_t=norm_adj,
         row_norm_adj=stack_csr([ops.row_norm_adj for ops in member_ops]),
+        row_norm_adj_t=stack_csr([ops.row_norm_adj_t for ops in member_ops]),
         edge_src=np.concatenate(
             [ops.edge_src + offset for ops, offset in zip(member_ops, offsets)]),
         edge_dst=np.concatenate(
             [ops.edge_dst + offset for ops, offset in zip(member_ops, offsets)]),
         num_nodes=batch.num_nodes,
+        dtype=dtype,
     )
 
 
-def graph_ops(graph: GraphLike) -> GraphOps:
+def graph_ops(graph: GraphLike, dtype=None) -> GraphOps:
     """Build (or fetch the cached) :class:`GraphOps` for ``graph``.
 
-    Works identically for a :class:`~repro.graph.graph.Graph` and a
+    ``dtype`` selects the element width of the sparse operators (default:
+    the ambient precision policy); each width is memoised separately
+    under the ``(op, dtype)`` key.  Works identically for a
+    :class:`~repro.graph.graph.Graph` and a
     :class:`~repro.graph.batch.GraphBatch`; each instance memoises its
     own operators via :meth:`~repro.graph.graph.OpsCache.cached_ops`.
     """
-    return graph.cached_ops(GRAPH_OPS_KEY, _build_graph_ops)
+    resolved = resolve_dtype(dtype)
+    key = f"{GRAPH_OPS_KEY}.{resolved.name}"
+    return graph.cached_ops(key, lambda g: _build_graph_ops(g, resolved))
 
 
 class GCNConv(Module):
@@ -112,10 +141,10 @@ class GCNConv(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(init.zeros_init(out_features)) if bias else None
 
     def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
-        out = spmm(ops.norm_adj, x.matmul(self.weight))
+        out = spmm(ops.norm_adj, x.matmul(self.weight), ops.norm_adj_t)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -142,7 +171,7 @@ class GATConv(Module):
             init.glorot_uniform((num_heads, in_features, out_features), rng))
         self.attn_src = Parameter(init.glorot_uniform((num_heads, out_features), rng))
         self.attn_dst = Parameter(init.glorot_uniform((num_heads, out_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(init.zeros_init(out_features)) if bias else None
 
     def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
         head_outputs = []
@@ -178,10 +207,10 @@ class SAGEConv(Module):
         self.out_features = out_features
         self.weight_self = Parameter(init.glorot_uniform((in_features, out_features), rng))
         self.weight_neigh = Parameter(init.glorot_uniform((in_features, out_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(init.zeros_init(out_features)) if bias else None
 
     def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
-        neighbor_mean = spmm(ops.row_norm_adj, x)
+        neighbor_mean = spmm(ops.row_norm_adj, x, ops.row_norm_adj_t)
         out = x.matmul(self.weight_self) + neighbor_mean.matmul(self.weight_neigh)
         if self.bias is not None:
             out = out + self.bias

@@ -38,7 +38,7 @@ def make_query_features(features: np.ndarray, query: int,
     Implements Eq. 13: ``h⁰_v = [I_l(v) ‖ A(v)]`` where the indicator is 1
     for the query node and (when given) its known positive samples.
     """
-    indicator = np.zeros((features.shape[0], 1))
+    indicator = np.zeros((features.shape[0], 1), dtype=features.dtype)
     indicator[int(query), 0] = 1.0
     if positives is not None and len(positives) > 0:
         indicator[np.asarray(positives, dtype=np.int64), 0] = 1.0
@@ -59,7 +59,7 @@ def make_support_features(features: np.ndarray, examples: Sequence,
         raise ValueError("make_support_features needs at least one example")
     n = features.shape[0]
     k = len(examples)
-    indicator = np.zeros((k * n, 1))
+    indicator = np.zeros((k * n, 1), dtype=features.dtype)
     for i, example in enumerate(examples):
         base = i * n
         indicator[base + int(example.query), 0] = 1.0
@@ -122,7 +122,9 @@ class GNNEncoder(Module):
         return F.elu(x) if self.conv_name == "gat" else F.relu(x)
 
     def forward(self, features: Tensor, graph: GraphLike) -> Tensor:
-        ops = graph_ops(graph)
+        # Operators are fetched at the activations' own width, so a
+        # float32 forward message-passes over float32 adjacencies.
+        ops = graph_ops(graph, features.dtype)
         x = features
         last = self.num_layers - 1
         for index, conv in enumerate(self.convs):
@@ -157,7 +159,7 @@ class GNNNodeClassifier(Module):
 
     def forward(self, features: Tensor, graph: GraphLike) -> Tensor:
         hidden = self.encoder(features, graph)
-        logits = self.head(hidden, graph_ops(graph))
+        logits = self.head(hidden, graph_ops(graph, hidden.dtype))
         return logits.reshape(-1)
 
     def predict_proba(self, features: Tensor, graph: GraphLike) -> np.ndarray:

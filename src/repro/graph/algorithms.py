@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..nn.backend import resolve_dtype
 from .graph import Graph
 
 __all__ = [
@@ -148,10 +149,11 @@ def local_clustering_coefficients(graph: Graph) -> np.ndarray:
 
     ``c(v) = 2 T(v) / (deg(v) (deg(v) - 1))`` with ``c = 0`` for degree < 2.
     """
-    triangles = triangle_counts(graph).astype(np.float64)
-    degrees = graph.degrees().astype(np.float64)
+    dtype = resolve_dtype()
+    triangles = triangle_counts(graph).astype(dtype)
+    degrees = graph.degrees().astype(dtype)
     denom = degrees * (degrees - 1.0)
-    coefficients = np.zeros(graph.num_nodes, dtype=np.float64)
+    coefficients = np.zeros(graph.num_nodes, dtype=dtype)
     mask = denom > 0
     coefficients[mask] = 2.0 * triangles[mask] / denom[mask]
     return coefficients

@@ -30,11 +30,15 @@ def structural_features(graph: Graph, normalize: bool = True) -> np.ndarray:
 
     Core numbers are scaled to [0, 1] by the graph's maximum so that feature
     magnitudes are comparable across task graphs of different densities.
+    Features adopt the graph's own element dtype (the precision policy it
+    was materialised under), not the ambient policy at call time, so a
+    task's feature precision is a stable property of the task.
     """
-    cores = core_numbers(graph).astype(np.float64)
+    dtype = graph.adjacency.dtype
+    cores = core_numbers(graph).astype(dtype)
     if normalize and cores.max(initial=0.0) > 0:
         cores = cores / cores.max()
-    clustering = local_clustering_coefficients(graph)
+    clustering = local_clustering_coefficients(graph).astype(dtype, copy=False)
     return np.stack([cores, clustering], axis=1)
 
 
@@ -59,7 +63,7 @@ def node_feature_matrix(graph: Graph, use_attributes: bool = True,
     if not blocks:
         # Degenerate configuration: fall back to a constant channel so the
         # GNN still has an input signal beyond the query indicator.
-        blocks.append(np.ones((graph.num_nodes, 1)))
+        blocks.append(np.ones((graph.num_nodes, 1), dtype=graph.adjacency.dtype))
     return np.concatenate(blocks, axis=1)
 
 

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.backend import resolve_dtype
 from .graph import Graph
 
 __all__ = [
@@ -138,7 +139,9 @@ def planted_partition_graph(num_nodes: int, num_communities: int,
 
     edge_blocks: List[np.ndarray] = []
     # Intra-community edges, allocated proportionally to the pair counts.
-    pair_counts = np.array([s * (s - 1) // 2 for s in sizes], dtype=np.float64)
+    # Sampling probabilities stay double regardless of the precision
+    # policy: np.random's normalisation check needs full-width sums.
+    pair_counts = np.array([s * (s - 1) // 2 for s in sizes], dtype=float)
     total_pairs = pair_counts.sum()
     for members, pairs in zip(communities, pair_counts):
         if pairs == 0:
@@ -181,7 +184,7 @@ def _community_attributes(num_nodes: int, communities: Sequence[Sequence[int]],
     of its ``attrs_per_node`` active attributes from its community's slice
     with probability ``signal`` and uniformly otherwise.
     """
-    attributes = np.zeros((num_nodes, num_attributes), dtype=np.float64)
+    attributes = np.zeros((num_nodes, num_attributes), dtype=resolve_dtype())
     num_communities = max(len(communities), 1)
     slice_width = max(num_attributes // num_communities, 1)
     community_of = {}

@@ -19,6 +19,8 @@ from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
 import numpy as np
 import scipy.sparse as sp
 
+from ..nn.backend import resolve_dtype
+
 __all__ = ["Graph", "OpsCache"]
 
 T = TypeVar("T")
@@ -36,6 +38,15 @@ class OpsCache:
     member graphs can never alias each other's operators, and
     :meth:`invalidate_cached_ops` gives mutating call sites a sanctioned
     way to drop stale entries.
+
+    **Cache-key convention.**  Operators whose values depend on the
+    element width are keyed ``(op, dtype)``, spelled
+    ``"<op>.<dtype-name>"`` — e.g. ``"gnn.message_passing.float32"`` and
+    ``"gnn.message_passing.float64"`` live side by side on one graph, so
+    a float64 trainer and a float32 server can share task graphs without
+    thrashing each other's operators.  :meth:`invalidate_cached_ops`
+    treats a key as a family prefix: invalidating ``"<op>"`` also drops
+    every ``"<op>.<suffix>"`` variant.
     """
 
     def cached_ops(self, key: str, builder: Callable[["OpsCache"], T]) -> T:
@@ -49,14 +60,19 @@ class OpsCache:
             return value
 
     def invalidate_cached_ops(self, key: Optional[str] = None) -> None:
-        """Drop one cached operator set (or all of them when ``key`` is None)."""
+        """Drop one cached operator family (or everything when ``key`` is
+        None).  ``key`` matches itself and any ``"<key>.<suffix>"`` entry,
+        per the ``(op, dtype)`` key convention above."""
         cache = self.__dict__.get("_ops_cache")
         if cache is None:
             return
         if key is None:
             cache.clear()
-        else:
-            cache.pop(key, None)
+            return
+        prefix = key + "."
+        for cached_key in [k for k in cache
+                           if k == key or k.startswith(prefix)]:
+            cache.pop(cached_key, None)
 
 
 class Graph(OpsCache):
@@ -99,7 +115,10 @@ class Graph(OpsCache):
         self.adjacency = self._build_adjacency(edge_array, self.num_nodes)
 
         if attributes is not None:
-            attributes = np.asarray(attributes, dtype=np.float64)
+            # Attribute storage adopts the ambient precision policy, so a
+            # graph materialised inside ``with precision("float32")`` feeds
+            # float32 features to the models without per-forward casts.
+            attributes = np.asarray(attributes, dtype=resolve_dtype())
             if attributes.shape[0] != self.num_nodes:
                 raise ValueError(
                     f"attribute matrix has {attributes.shape[0]} rows for "
@@ -149,10 +168,10 @@ class Graph(OpsCache):
     @staticmethod
     def _build_adjacency(edges: np.ndarray, num_nodes: int) -> sp.csr_matrix:
         if edges.size == 0:
-            return sp.csr_matrix((num_nodes, num_nodes))
+            return sp.csr_matrix((num_nodes, num_nodes), dtype=resolve_dtype())
         rows = np.concatenate([edges[:, 0], edges[:, 1]])
         cols = np.concatenate([edges[:, 1], edges[:, 0]])
-        data = np.ones(rows.shape[0], dtype=np.float64)
+        data = np.ones(rows.shape[0], dtype=resolve_dtype())
         return sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
 
     # ------------------------------------------------------------------

@@ -2,10 +2,25 @@
 
 Replaces PyTorch for this reproduction: reverse-mode autodiff over numpy,
 dense layers, sparse message-passing primitives, optimisers and losses.
+The element width and the executing kernels are governed by
+:mod:`repro.nn.backend` (precision policy + pluggable array backend).
 """
 
+from . import backend
 from . import functional
 from . import init
+from .backend import (
+    ArrayBackend,
+    NumpyBackend,
+    Precision,
+    default_dtype,
+    get_backend,
+    precision,
+    resolve_dtype,
+    set_backend,
+    set_default_dtype,
+    use_backend,
+)
 from .layers import MLP, Dropout, Identity, Linear, Sequential
 from .loss import bce_loss, bce_with_logits, masked_bce_with_logits, mse_loss
 from .module import Module, ModuleList, Parameter
@@ -15,8 +30,19 @@ from .sparse import normalized_adjacency, row_normalized_adjacency, spmm
 from .tensor import Tensor, as_tensor, full, is_grad_enabled, no_grad, ones, zeros
 
 __all__ = [
+    "backend",
     "functional",
     "init",
+    "ArrayBackend",
+    "NumpyBackend",
+    "Precision",
+    "precision",
+    "default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "Tensor",
     "as_tensor",
     "no_grad",

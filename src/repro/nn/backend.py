@@ -1,0 +1,306 @@
+"""Precision policy and the pluggable array backend.
+
+This module is the single source of truth for two cross-cutting numerical
+choices that used to be hardwired all over the stack:
+
+* **Which element width to compute in.**  The CGNP hot path (spmm and
+  dense matmul) is memory-bandwidth-bound, so halving the element width
+  is a direct throughput win.  The :class:`Precision` policy holds the
+  ambient dtype (``float32`` or ``float64``); every layer that creates
+  arrays — tensors, initialisers, normalised adjacencies, feature
+  matrices — resolves its dtype through :func:`resolve_dtype` instead of
+  naming ``np.float64``.  The process-wide default is ``float64`` (so the
+  numeric-equivalence test suite stays exact) and can be overridden
+  per-context with ``with precision("float32"):`` or process-wide via the
+  ``REPRO_DTYPE`` environment variable / :func:`set_default_dtype`.
+
+* **Which array library executes the dense/sparse kernels.**  The
+  :class:`ArrayBackend` protocol gathers the operations the autograd
+  engine actually dispatches — dense matmul, sparse-dense matmul, array
+  creation, RNG construction — behind one object.  The default
+  :class:`NumpyBackend` runs on NumPy + SciPy; alternative backends
+  (threaded spmm, numba kernels, GPU arrays) implement the same surface
+  and are installed with :func:`set_backend` / ``with use_backend(...)``.
+
+Cache-key convention
+--------------------
+Derived operators whose values depend on the element width are memoised
+under ``(op, dtype)`` keys spelled ``"<op>.<dtype-name>"`` (e.g.
+``"gnn.message_passing.float32"``) in each graph's
+:class:`~repro.graph.graph.OpsCache`.  ``invalidate_cached_ops("<op>")``
+drops every dtype variant of the family at once.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Iterator, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "Precision",
+    "precision",
+    "default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
+    "ArrayBackend",
+    "NumpyBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: The element widths the stack supports end to end.
+SUPPORTED_DTYPES = ("float32", "float64")
+
+DTypeLike = Union[str, type, np.dtype, "Precision"]
+
+
+def _canonical_dtype(dtype: DTypeLike) -> np.dtype:
+    """Validate and normalise ``dtype`` to a numpy dtype object."""
+    if isinstance(dtype, Precision):
+        return dtype.dtype
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        # np.dtype raises TypeError for unparseable names (e.g. "fp32");
+        # normalise to the same ValueError the not-supported branch uses.
+        raise ValueError(
+            f"unsupported precision {dtype!r}; choose from "
+            f"{SUPPORTED_DTYPES}") from exc
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported precision {resolved.name!r}; choose from "
+            f"{SUPPORTED_DTYPES}")
+    return resolved
+
+
+class Precision:
+    """A value object naming one supported element width.
+
+    Mostly used through the module-level helpers (:func:`precision`,
+    :func:`resolve_dtype`), but passing a ``Precision`` anywhere a dtype
+    is accepted also works.
+    """
+
+    __slots__ = ("dtype",)
+
+    def __init__(self, dtype: DTypeLike):
+        self.dtype = _canonical_dtype(dtype)
+
+    @property
+    def name(self) -> str:
+        return self.dtype.name
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Precision):
+            return self.dtype == other.dtype
+        try:
+            return self.dtype == _canonical_dtype(other)
+        except (TypeError, ValueError):
+            return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"Precision({self.name!r})"
+
+
+def _precision_from_env() -> Precision:
+    """The process default from ``REPRO_DTYPE``, failing with a message
+    that names the environment variable (this runs at import time)."""
+    value = os.environ.get("REPRO_DTYPE", "float64")
+    try:
+        return Precision(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"invalid REPRO_DTYPE environment variable: {exc}") from exc
+
+
+#: Process-wide default precision; ``precision(...)`` overrides are
+#: per-thread, but this base is shared so ``set_default_dtype`` is
+#: visible from worker threads too.
+_PROCESS_DEFAULT_PRECISION = _precision_from_env()
+
+
+class _PolicyState(threading.local):
+    """Per-thread stack of scoped ``precision(...)`` overrides."""
+
+    def __init__(self):
+        self.stack = []
+
+
+_POLICY = _PolicyState()
+
+
+def default_dtype() -> np.dtype:
+    """The ambient policy dtype (innermost ``precision`` context wins,
+    falling back to the process-wide default)."""
+    stack = _POLICY.stack
+    return (stack[-1] if stack else _PROCESS_DEFAULT_PRECISION).dtype
+
+
+def set_default_dtype(dtype: DTypeLike) -> None:
+    """Replace the process-wide default precision (all threads).
+
+    Prefer the scoped ``with precision(...):`` form; this setter exists
+    for process entry points (CLI, benchmarks, test harnesses).
+    """
+    global _PROCESS_DEFAULT_PRECISION
+    _PROCESS_DEFAULT_PRECISION = Precision(dtype)
+
+
+@contextlib.contextmanager
+def precision(dtype: DTypeLike) -> Iterator[Precision]:
+    """Scoped precision override: ``with precision("float32"): ...``."""
+    policy = Precision(dtype)
+    _POLICY.stack.append(policy)
+    try:
+        yield policy
+    finally:
+        _POLICY.stack.pop()
+
+
+def resolve_dtype(dtype: Optional[DTypeLike] = None) -> np.dtype:
+    """``dtype`` normalised, or the ambient policy dtype when ``None``.
+
+    This is the one call every array-creating site in the stack makes
+    instead of hardcoding an element width.
+    """
+    if dtype is None:
+        return default_dtype()
+    return _canonical_dtype(dtype)
+
+
+class ArrayBackend:
+    """Protocol for the dense/sparse kernels the autograd engine dispatches.
+
+    The base class documents the surface; :class:`NumpyBackend` is the
+    reference implementation.  An alternative backend subclasses this,
+    overrides the kernels it accelerates, and is installed via
+    :func:`set_backend` (process-wide) or ``with use_backend(...)``
+    (scoped).  All methods take and return numpy-compatible arrays so
+    backends can be swapped without touching the layers above.
+    """
+
+    #: Human-readable backend identifier (recorded in provenance).
+    name = "abstract"
+
+    # -- array creation -------------------------------------------------
+    def asarray(self, data, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def ones(self, shape, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def full(self, shape, value, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- dense kernels --------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense (possibly batched) matrix product."""
+        raise NotImplementedError
+
+    # -- sparse kernels -------------------------------------------------
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        """Sparse @ dense product; ``matrix`` is a constant operator."""
+        raise NotImplementedError
+
+    def to_operator(self, matrix: sp.spmatrix,
+                    dtype: Optional[DTypeLike] = None) -> sp.csr_matrix:
+        """Canonicalise a sparse matrix into this backend's operator form
+        (CSR at the resolved dtype), copying only when necessary."""
+        raise NotImplementedError
+
+    # -- randomness -----------------------------------------------------
+    def rng(self, seed: int) -> np.random.Generator:
+        """A fresh seeded generator for parameter init / sampling."""
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: NumPy dense kernels + SciPy sparse kernels."""
+
+    name = "numpy"
+
+    def asarray(self, data, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        return np.asarray(data, dtype=resolve_dtype(dtype))
+
+    def zeros(self, shape, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        return np.zeros(shape, dtype=resolve_dtype(dtype))
+
+    def ones(self, shape, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        return np.ones(shape, dtype=resolve_dtype(dtype))
+
+    def full(self, shape, value, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        return np.full(shape, value, dtype=resolve_dtype(dtype))
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.matmul(a, b)
+
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        return matrix @ dense
+
+    def to_operator(self, matrix: sp.spmatrix,
+                    dtype: Optional[DTypeLike] = None) -> sp.csr_matrix:
+        target = resolve_dtype(dtype)
+        operator = matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
+        if operator.dtype != target:
+            operator = operator.astype(target)
+        return operator
+
+    def rng(self, seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+
+#: Process-wide default backend (shared across threads, like the
+#: precision default); ``use_backend`` overrides are per-thread.
+_PROCESS_DEFAULT_BACKEND = NumpyBackend()
+
+
+class _BackendState(threading.local):
+    """Per-thread stack of scoped ``use_backend(...)`` overrides."""
+
+    def __init__(self):
+        self.stack = []
+
+
+_BACKEND_STATE = _BackendState()
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend (innermost ``use_backend`` context wins,
+    falling back to the process-wide default)."""
+    stack = _BACKEND_STATE.stack
+    return stack[-1] if stack else _PROCESS_DEFAULT_BACKEND
+
+
+def set_backend(backend: ArrayBackend) -> None:
+    """Install ``backend`` as the process-wide default (all threads)."""
+    global _PROCESS_DEFAULT_BACKEND
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(
+            f"expected an ArrayBackend, got {type(backend).__name__}")
+    _PROCESS_DEFAULT_BACKEND = backend
+
+
+@contextlib.contextmanager
+def use_backend(backend: ArrayBackend) -> Iterator[ArrayBackend]:
+    """Scoped backend override: ``with use_backend(MyBackend()): ...``."""
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(
+            f"expected an ArrayBackend, got {type(backend).__name__}")
+    _BACKEND_STATE.stack.append(backend)
+    try:
+        yield backend
+    finally:
+        _BACKEND_STATE.stack.pop()

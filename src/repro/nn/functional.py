@@ -108,7 +108,9 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     x = as_tensor(x)
     if not training or p == 0.0:
         return x
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    # Cast the mask to the activation dtype so dropout never silently
+    # upcasts a float32 forward pass to float64.
+    mask = ((rng.random(x.shape) >= p) / (1.0 - p)).astype(x.data.dtype)
     return x * Tensor(mask)
 
 
@@ -178,8 +180,9 @@ def segment_sum(values: Tensor, segments: np.ndarray, num_segments: int) -> Tens
 
 def segment_mean(values: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
     """Per-segment mean; empty segments yield zeros."""
+    values = as_tensor(values)
     segments = np.asarray(segments, dtype=np.int64)
-    counts = np.bincount(segments, minlength=num_segments).astype(np.float64)
+    counts = np.bincount(segments, minlength=num_segments).astype(values.data.dtype)
     counts = np.maximum(counts, 1.0)
     summed = segment_sum(values, segments, num_segments)
     if summed.ndim == 1:

@@ -2,12 +2,17 @@
 
 All initialisers take an explicit ``numpy.random.Generator`` so model
 construction is deterministic under a fixed seed — a requirement for the
-reproducibility of every experiment in the harness.
+reproducibility of every experiment in the harness.  Every initialiser
+returns arrays in the ambient :func:`~repro.nn.backend.resolve_dtype`
+policy dtype, so parameters are born at the model's precision (the draw
+itself happens in float64 for seed-stream stability across dtypes).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .backend import resolve_dtype
 
 __all__ = ["glorot_uniform", "kaiming_uniform", "uniform", "zeros_init"]
 
@@ -16,22 +21,22 @@ def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform — the PyG default for GCN/GAT weights."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(), copy=False)
 
 
 def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     """He uniform, appropriate ahead of ReLU nonlinearities."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(), copy=False)
 
 
 def uniform(shape, rng: np.random.Generator, low: float = -0.05, high: float = 0.05) -> np.ndarray:
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(resolve_dtype(), copy=False)
 
 
 def zeros_init(shape, rng: np.random.Generator = None) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=resolve_dtype())
 
 
 def _fans(shape) -> tuple:

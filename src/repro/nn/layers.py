@@ -42,7 +42,7 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(init.zeros_init(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x.matmul(self.weight)

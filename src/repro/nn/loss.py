@@ -35,12 +35,15 @@ def bce_loss(probabilities: Tensor, targets: np.ndarray,
         ``"sum"`` (paper's Eq. 3 sums over samples), ``"mean"`` or ``"none"``.
     """
     probabilities = as_tensor(probabilities)
-    targets = np.asarray(targets, dtype=np.float64)
+    # Targets/weights adopt the prediction dtype so the loss never
+    # upcasts a float32 forward pass.
+    targets = np.asarray(targets, dtype=probabilities.data.dtype)
     clipped = probabilities.clip(_EPS, 1.0 - _EPS)
     per_element = -(Tensor(targets) * clipped.log()
                     + Tensor(1.0 - targets) * (1.0 - clipped).log())
     if weights is not None:
-        per_element = per_element * Tensor(np.asarray(weights, dtype=np.float64))
+        per_element = per_element * Tensor(
+            np.asarray(weights, dtype=probabilities.data.dtype))
     return _reduce(per_element, reduction)
 
 
@@ -53,7 +56,7 @@ def bce_with_logits(logits: Tensor, targets: np.ndarray,
     branch exponentiates a large positive number.
     """
     logits = as_tensor(logits)
-    targets_arr = np.asarray(targets, dtype=np.float64)
+    targets_arr = np.asarray(targets, dtype=logits.data.dtype)
     x = logits
     # max(x, 0) implemented differentiably as relu(x).
     positive_part = x.relu()
@@ -61,7 +64,8 @@ def bce_with_logits(logits: Tensor, targets: np.ndarray,
     softplus = (Tensor(np.ones_like(x.data)) + (-(x.abs())).exp()).log()
     per_element = positive_part - linear_part + softplus
     if weights is not None:
-        per_element = per_element * Tensor(np.asarray(weights, dtype=np.float64))
+        per_element = per_element * Tensor(
+            np.asarray(weights, dtype=logits.data.dtype))
     return _reduce(per_element, reduction)
 
 
@@ -73,14 +77,14 @@ def masked_bce_with_logits(logits: Tensor, targets: np.ndarray,
     query; all other nodes carry no loss.  ``mask`` is 1 for labelled
     entries, 0 elsewhere.
     """
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask, dtype=as_tensor(logits).data.dtype)
     return bce_with_logits(logits, targets, weights=mask, reduction=reduction)
 
 
 def mse_loss(predictions: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
     """Mean-squared error (used in autograd sanity tests)."""
     predictions = as_tensor(predictions)
-    diff = predictions - Tensor(np.asarray(targets, dtype=np.float64))
+    diff = predictions - Tensor(np.asarray(targets, dtype=predictions.data.dtype))
     return _reduce(diff * diff, reduction)
 
 

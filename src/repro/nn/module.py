@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from .backend import resolve_dtype
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "ModuleList"]
@@ -69,6 +70,20 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.grad = None
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter (and pending grad) to ``dtype`` in place.
+
+        Used when re-serving a checkpoint at a different precision than
+        it was trained at (e.g. float64-trained weights served float32).
+        """
+        target = resolve_dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != target:
+                param.data = param.data.astype(target)
+            if param.grad is not None and param.grad.dtype != target:
+                param.grad = param.grad.astype(target)
+        return self
 
     # ------------------------------------------------------------------
     # Train / eval mode

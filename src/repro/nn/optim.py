@@ -3,6 +3,11 @@
 The paper trains CGNP and all learned baselines with Adam (lr 5e-4); the
 MAML/Reptile inner loops use plain SGD steps.  Both are implemented here
 against the :class:`~repro.nn.tensor.Tensor` parameter representation.
+
+Optimiser state (momentum / moment buffers) is allocated with
+``zeros_like`` and all scalar hyper-parameters are Python floats, so
+every update stays in the parameters' own dtype — a float32 model trains
+fully in float32 with no silent upcasts.
 """
 
 from __future__ import annotations

@@ -4,49 +4,98 @@ GNN convolutions multiply a (constant) sparse adjacency-like matrix with a
 dense, differentiable feature matrix.  The adjacency operator itself is never
 learned, so its gradient is not tracked; the VJP w.r.t. the dense operand is
 ``Aᵀ @ grad``.
+
+The left operand must already be CSR — the cached-operator convention of
+:func:`repro.gnn.conv.graph_ops`, which also caches the pre-transposed
+backward operator so neither direction converts formats per call.  Both
+directions dispatch through the active
+:class:`~repro.nn.backend.ArrayBackend`.  Normalised adjacencies are built
+at an explicit dtype (defaulting to the ambient precision policy), so one
+graph can hold cached ``(op, dtype)`` operator variants side by side.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 import scipy.sparse as sp
 
+from .backend import get_backend, resolve_dtype
 from .tensor import Tensor, as_tensor
 
 __all__ = ["spmm", "normalized_adjacency", "row_normalized_adjacency"]
 
 
-def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+def spmm(matrix: sp.spmatrix, dense: Tensor,
+         matrix_t: Optional[sp.spmatrix] = None) -> Tensor:
     """Sparse @ dense product, differentiable in the dense operand.
 
     Parameters
     ----------
     matrix:
-        Any scipy sparse matrix of shape ``(m, n)``; treated as a constant.
+        CSR matrix of shape ``(m, n)``; treated as a constant.  Other
+        sparse formats are rejected — convert once at operator-build time
+        (:func:`repro.gnn.conv.graph_ops` does) rather than per forward.
     dense:
         Dense tensor of shape ``(n, d)`` (or ``(n,)``).
+    matrix_t:
+        Optional pre-transposed operator (``matrix.T``) reused by the
+        backward pass.  Without it the backward falls back to the O(1)
+        CSC transpose view of ``matrix``.
     """
     if not sp.issparse(matrix):
         raise TypeError("spmm expects a scipy sparse matrix as the left operand")
+    if matrix.format != "csr":
+        raise TypeError(
+            f"spmm requires a CSR operator, got {matrix.format!r}; convert "
+            f"with .tocsr() once when building the operator, not per call")
     dense = as_tensor(dense)
-    csr = matrix.tocsr()
-    out_data = csr @ dense.data
+    xp = get_backend()
+    out_data = xp.spmm(matrix, dense.data)
 
     def backward(grad: np.ndarray) -> None:
-        Tensor._accumulate(dense, csr.T @ grad)
+        operator_t = matrix_t if matrix_t is not None else matrix.T
+        Tensor._accumulate(dense, xp.spmm(operator_t, grad))
 
     return Tensor._make(np.asarray(out_data), (dense,), backward)
 
 
-def normalized_adjacency(adjacency: sp.spmatrix, add_self_loops: bool = True) -> sp.csr_matrix:
+def _as_csr(adjacency: sp.spmatrix, dtype: Optional[object]) -> sp.csr_matrix:
+    """CSR view of ``adjacency`` at the resolved dtype, copying only when
+    the format or element width actually differs."""
+    return get_backend().to_operator(adjacency, dtype=resolve_dtype(dtype))
+
+
+def _with_self_loops(adj: sp.csr_matrix) -> sp.csr_matrix:
+    """``Â = A + I``, skipping the full-matrix copy when every diagonal
+    entry is already present.
+
+    A matrix carrying a full diagonal is treated as *already self-looped*
+    (``Â = A``) rather than receiving a second loop on top.
+    :class:`~repro.graph.graph.Graph` adjacencies never contain diagonal
+    entries (edge canonicalisation drops self-loops), so for every graph
+    in this repository the two readings coincide; the skip only changes
+    the result for externally-supplied operators that were explicitly
+    built with their self-loops in place — which is exactly the case
+    where adding ``I`` again would be wrong.
+    """
+    diagonal = adj.diagonal()
+    if diagonal.size and np.all(diagonal != 0):
+        return adj
+    return adj + sp.eye(adj.shape[0], format="csr", dtype=adj.dtype)
+
+
+def normalized_adjacency(adjacency: sp.spmatrix, add_self_loops: bool = True,
+                         dtype: Optional[object] = None) -> sp.csr_matrix:
     """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
 
     Isolated nodes (degree zero after optional self-loops) receive zero rows
-    rather than NaNs.
+    rather than NaNs.  ``dtype`` defaults to the ambient precision policy.
     """
-    adj = sp.csr_matrix(adjacency, dtype=np.float64)
+    adj = _as_csr(adjacency, dtype)
     if add_self_loops:
-        adj = adj + sp.eye(adj.shape[0], format="csr")
+        adj = _with_self_loops(adj)
     degrees = np.asarray(adj.sum(axis=1)).ravel()
     inv_sqrt = np.zeros_like(degrees)
     nonzero = degrees > 0
@@ -55,9 +104,13 @@ def normalized_adjacency(adjacency: sp.spmatrix, add_self_loops: bool = True) ->
     return (d_inv_sqrt @ adj @ d_inv_sqrt).tocsr()
 
 
-def row_normalized_adjacency(adjacency: sp.spmatrix) -> sp.csr_matrix:
-    """Row-stochastic ``D^{-1} A`` — the GraphSAGE mean aggregator operator."""
-    adj = sp.csr_matrix(adjacency, dtype=np.float64)
+def row_normalized_adjacency(adjacency: sp.spmatrix,
+                             dtype: Optional[object] = None) -> sp.csr_matrix:
+    """Row-stochastic ``D^{-1} A`` — the GraphSAGE mean aggregator operator.
+
+    ``dtype`` defaults to the ambient precision policy.
+    """
+    adj = _as_csr(adjacency, dtype)
     degrees = np.asarray(adj.sum(axis=1)).ravel()
     inv = np.zeros_like(degrees)
     nonzero = degrees > 0

@@ -7,9 +7,12 @@ through :class:`Tensor`.
 
 Design notes
 ------------
-* A :class:`Tensor` wraps a ``numpy.ndarray`` (``float64`` by default for
-  numerically-tight gradient checks) plus an optional gradient and a closure
-  that propagates an upstream gradient to its parents.
+* A :class:`Tensor` wraps a ``numpy.ndarray`` (created in the ambient
+  :mod:`~repro.nn.backend` precision-policy dtype — ``float64`` by
+  default, for numerically-tight gradient checks) plus an optional
+  gradient and a closure that propagates an upstream gradient to its
+  parents.  Dense matmuls dispatch through the active
+  :class:`~repro.nn.backend.ArrayBackend`.
 * ``backward()`` runs a topological sort of the recorded graph and applies
   each node's vector-Jacobian product exactly once.
 * Broadcasting in forward ops is undone in backward by
@@ -30,6 +33,8 @@ import contextlib
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .backend import get_backend, resolve_dtype
 
 __all__ = [
     "Tensor",
@@ -93,21 +98,39 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a numpy array.  Floating inputs keep their
-        dtype; integers and Python scalars are promoted to ``float64``.
+        Anything convertible to a numpy array.  Floating arrays keep their
+        dtype; integers and Python scalars are promoted to the ambient
+        :func:`~repro.nn.backend.resolve_dtype` policy dtype.
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` during
         :meth:`backward`.
+    dtype:
+        Explicit element dtype.  When given, the data is cast to it
+        regardless of the input dtype — the entry-point cast model code
+        uses to pin features to the model's own precision.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
-    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+    def __init__(self, data, requires_grad: bool = False, name: str = "",
+                 dtype=None):
         if isinstance(data, Tensor):
             data = data.data
         array = np.asarray(data)
-        if not np.issubdtype(array.dtype, np.floating):
-            array = array.astype(np.float64)
+        if dtype is not None:
+            target = resolve_dtype(dtype)
+            if array.dtype != target:
+                array = array.astype(target)
+        elif not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(resolve_dtype())
+        elif not isinstance(data, np.ndarray):
+            # Python scalars/lists adopt the policy dtype (np.asarray
+            # makes them float64 regardless); only explicit ndarrays keep
+            # their own width, so e.g. the `loss * (1.0 / n)` scaling in
+            # a float32 forward never upcasts the graph to float64.
+            target = resolve_dtype()
+            if array.dtype != target:
+                array = array.astype(target)
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
@@ -145,6 +168,18 @@ class Tensor:
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the autograd graph."""
         return Tensor(self.data, requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable element-width cast; gradients cast back."""
+        target = resolve_dtype(dtype)
+        if self.data.dtype == target:
+            return self
+        out_data = self.data.astype(target)
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad.astype(self.data.dtype))
+
+        return Tensor._make(out_data, (self,), backward)
 
     def copy(self) -> "Tensor":
         """Return a leaf tensor with copied data and the same ``requires_grad``."""
@@ -237,8 +272,23 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
+    def _operand(self, other: TensorLike) -> "Tensor":
+        """Coerce the other operand of a binary op.
+
+        Python scalars/lists adopt THIS tensor's dtype (mirroring numpy's
+        value-based scalar promotion) rather than the ambient policy, so
+        ``x + 1e-16`` on a float32 ``x`` stays float32 even when the
+        ambient default is float64 — the case of a float32-serving model
+        running inside a float64 process.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, np.ndarray):
+            return Tensor(other)
+        return Tensor(other, dtype=self.data.dtype)
+
     def __add__(self, other: TensorLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -256,7 +306,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other: TensorLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -266,10 +316,10 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rsub__(self, other: TensorLike) -> "Tensor":
-        return as_tensor(other).__sub__(self)
+        return self._operand(other).__sub__(self)
 
     def __mul__(self, other: TensorLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -281,7 +331,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: TensorLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -291,7 +341,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: TensorLike) -> "Tensor":
-        return as_tensor(other).__truediv__(self)
+        return self._operand(other).__truediv__(self)
 
     def __pow__(self, exponent: Number) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -307,9 +357,14 @@ class Tensor:
         return self.matmul(other)
 
     def matmul(self, other: TensorLike) -> "Tensor":
-        """Matrix product supporting 1-D, 2-D and batched (>2-D) operands."""
+        """Matrix product supporting 1-D, 2-D and batched (>2-D) operands.
+
+        Forward and both VJPs dispatch through the active
+        :class:`~repro.nn.backend.ArrayBackend`.
+        """
         other = as_tensor(other)
-        out_data = np.matmul(self.data, other.data)
+        xp = get_backend()
+        out_data = xp.matmul(self.data, other.data)
         a, b = self, other
 
         def backward(grad: np.ndarray) -> None:
@@ -327,7 +382,7 @@ class Tensor:
             if a_data.ndim == 1:
                 # (k,) @ (..., k, n) -> (..., n)
                 if a.requires_grad:
-                    ga = np.matmul(b_data, np.expand_dims(grad, -1)).squeeze(-1)
+                    ga = xp.matmul(b_data, np.expand_dims(grad, -1)).squeeze(-1)
                     Tensor._accumulate(a, ga)
                 if b.requires_grad:
                     gb = np.expand_dims(a_data, -1) * np.expand_dims(grad, -2)
@@ -339,14 +394,14 @@ class Tensor:
                     ga = np.expand_dims(grad, -1) * b_data
                     Tensor._accumulate(a, ga)
                 if b.requires_grad:
-                    gb = np.matmul(np.swapaxes(a_data, -1, -2),
+                    gb = xp.matmul(np.swapaxes(a_data, -1, -2),
                                    np.expand_dims(grad, -1))
                     Tensor._accumulate(b, gb.squeeze(-1))
                 return
             if a.requires_grad:
-                Tensor._accumulate(a, np.matmul(grad, np.swapaxes(b_data, -1, -2)))
+                Tensor._accumulate(a, xp.matmul(grad, np.swapaxes(b_data, -1, -2)))
             if b.requires_grad:
-                Tensor._accumulate(b, np.matmul(np.swapaxes(a_data, -1, -2), grad))
+                Tensor._accumulate(b, xp.matmul(np.swapaxes(a_data, -1, -2), grad))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -544,12 +599,13 @@ def as_tensor(value: TensorLike) -> Tensor:
 
 
 def zeros(*shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(get_backend().zeros(shape), requires_grad=requires_grad)
 
 
 def ones(*shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(get_backend().ones(shape), requires_grad=requires_grad)
 
 
 def full(shape: Iterable[int], value: float, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.full(tuple(shape), value), requires_grad=requires_grad)
+    return Tensor(get_backend().full(tuple(shape), value),
+                  requires_grad=requires_grad)

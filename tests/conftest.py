@@ -7,8 +7,31 @@ import pytest
 
 from repro.datasets import clear_cache
 from repro.graph import attributed_community_graph
+from repro.nn.backend import precision
 from repro.tasks import TaskSampler
 from repro.utils import make_rng
+
+#: Modules that assert exact numeric equivalence (1e-9/1e-10 bars) or the
+#: float64 construction default.  They run pinned at float64 regardless of
+#: the ambient ``REPRO_DTYPE``, so the float32 CI matrix entry exercises
+#: the rest of the suite at reduced precision without weakening these bars.
+#: The pin covers the test body only: session-scoped fixtures (graphs,
+#: tasks) materialise under the ambient policy before this function-scoped
+#: fixture runs, so pinned tests must not assert fixture *data* dtypes —
+#: models re-cast inputs to their own dtype, which is what keeps the
+#: equivalence bars exact.
+_FLOAT64_PINNED_MODULES = {"test_tensor", "test_graph_batch", "test_api",
+                           "test_loss_sparse", "test_init_misc",
+                           "test_properties"}
+
+
+@pytest.fixture(autouse=True)
+def _pin_numeric_equivalence_precision(request):
+    if request.module.__name__ in _FLOAT64_PINNED_MODULES:
+        with precision("float64"):
+            yield
+    else:
+        yield
 
 
 @pytest.fixture
