@@ -28,7 +28,8 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..core.model import CGNP, CGNPConfig
-from ..nn.backend import precision, resolve_dtype
+from ..nn.backend import (get_backend, precision, resolve_dtype,
+                          resolve_index_dtype)
 from ..nn.serialize import load_state, save_state
 from ..utils import make_rng
 
@@ -80,8 +81,33 @@ class ModelBundle:
         trained and saved at.  Legacy headers without the field — and
         weight-only archives — default to ``"float64"``, the historical
         behaviour.
+    index_dtype:
+        Index-width name (``"int32"``/``"int64"``) the training run's
+        sparse structure used.  Purely provenance — index width never
+        changes computed values — recorded so a perf regression can be
+        traced to the policy a model was produced under.  Legacy headers
+        default to ``"int64"``, the pre-policy behaviour.
+    backend:
+        :attr:`~repro.nn.backend.ArrayBackend.name` of the backend active
+        when the bundle was written (``"numpy"``/``"threaded"``/custom).
+        Provenance only; legacy headers default to ``"numpy"``.
     version:
         Header format version this bundle was read from / written at.
+
+    >>> from repro.core.model import CGNP, CGNPConfig
+    >>> from repro.utils import make_rng
+    >>> model = CGNP(2, CGNPConfig(hidden_dim=4, num_layers=1, conv="gcn",
+    ...                            decoder="ip"), make_rng(0))
+    >>> bundle = ModelBundle.from_model(model, provenance={"dataset": "demo"})
+    >>> bundle.method
+    'CGNP-IP'
+    >>> bundle.is_legacy
+    False
+    >>> sorted(bundle.header())[:5]
+    ['backend', 'config', 'dtype', 'feature_schema', 'format']
+    >>> rebuilt = bundle.build_model()
+    >>> rebuilt.in_dim
+    2
     """
 
     state: Dict[str, np.ndarray]
@@ -91,6 +117,8 @@ class ModelBundle:
     feature_schema: Dict[str, Any] = dataclasses.field(default_factory=dict)
     provenance: Dict[str, Any] = dataclasses.field(default_factory=dict)
     dtype: str = "float64"
+    index_dtype: str = "int64"
+    backend: str = "numpy"
     version: int = BUNDLE_VERSION
 
     @property
@@ -119,6 +147,8 @@ class ModelBundle:
             feature_schema=schema,
             provenance=dict(provenance or {}),
             dtype=np.dtype(model.dtype).name,
+            index_dtype=resolve_index_dtype().name,
+            backend=get_backend().name,
         )
 
     # ------------------------------------------------------------------
@@ -132,6 +162,8 @@ class ModelBundle:
             "method": self.method,
             "in_dim": self.in_dim,
             "dtype": self.dtype,
+            "index_dtype": self.index_dtype,
+            "backend": self.backend,
             "config": dataclasses.asdict(self.config) if self.config else None,
             "feature_schema": self.feature_schema,
             "provenance": self.provenance,
@@ -179,6 +211,14 @@ class ModelBundle:
         except (TypeError, ValueError) as exc:
             raise ValueError(f"{path}: bundle header carries an invalid "
                              f"dtype {dtype!r}: {exc}") from exc
+        # Headers written before the backend refactor carry neither field;
+        # they were produced by the numpy backend at int64 indices.
+        index_dtype = header.get("index_dtype", "int64")
+        try:
+            index_dtype = resolve_index_dtype(index_dtype).name
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: bundle header carries an invalid "
+                             f"index_dtype {index_dtype!r}: {exc}") from exc
         return cls(
             state=state,
             config=_config_from_payload(header.get("config")),
@@ -187,6 +227,8 @@ class ModelBundle:
             feature_schema=header.get("feature_schema") or {},
             provenance=header.get("provenance") or {},
             dtype=dtype,
+            index_dtype=index_dtype,
+            backend=str(header.get("backend", "numpy")),
             version=version,
         )
 
@@ -229,4 +271,5 @@ class ModelBundle:
         suffix = f", trained on {origin}" if origin else ""
         return (f"{self.method} bundle v{self.version} (in_dim={self.in_dim}, "
                 f"conv={c.conv}, dec={c.decoder}, layers={c.num_layers}, "
-                f"hidden={c.hidden_dim}, dtype={self.dtype}{suffix})")
+                f"hidden={c.hidden_dim}, dtype={self.dtype}, "
+                f"backend={self.backend}/{self.index_dtype}{suffix})")

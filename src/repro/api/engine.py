@@ -24,9 +24,9 @@ probabilities equal to well below any sensible threshold).  The CLI
 ``repro query`` already defaults to it; ``dtype=None`` keeps the
 bundle's recorded training precision.
 
->>> engine = CommunitySearchEngine.from_bundle("model.npz").attach(task)
->>> community = engine.query(42)                  # ndarray of node ids
->>> communities = engine.query([3, 7, 42])        # {node: ndarray}
+>>> engine = CommunitySearchEngine.from_bundle("model.npz").attach(task)  # doctest: +SKIP
+>>> community = engine.query(42)                  # doctest: +SKIP
+>>> communities = engine.query([3, 7, 42])        # doctest: +SKIP
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ import numpy as np
 
 from ..core.infer import validate_queries
 from ..core.model import CGNP
+from ..nn.backend import get_backend
 from ..nn.tensor import Tensor, no_grad
 from ..tasks.task import Task
 from .bundle import ModelBundle
@@ -50,7 +51,13 @@ __all__ = ["CommunitySearchEngine", "EngineStats"]
 
 @dataclasses.dataclass
 class EngineStats:
-    """Serving counters and timers of one engine."""
+    """Serving counters and timers of one engine.
+
+    ``backend`` names the :class:`~repro.nn.backend.ArrayBackend` the
+    engine's kernels dispatch through — :meth:`CommunitySearchEngine.stats`
+    fills it from the active backend at snapshot time, so a scoped
+    ``use_backend(...)`` override shows up in the snapshot it applies to.
+    """
 
     queries_served: int = 0
     batches_served: int = 0
@@ -60,6 +67,7 @@ class EngineStats:
     contexts_evicted: int = 0
     context_seconds: float = 0.0
     decode_seconds: float = 0.0
+    backend: str = ""
 
     @property
     def queries_per_second(self) -> float:
@@ -85,6 +93,27 @@ class CommunitySearchEngine:
         Default membership probability threshold (overridable per query).
     max_cached_contexts:
         How many per-task context matrices to keep (LRU eviction).
+
+    End-to-end on a tiny synthetic graph (an untrained model — the
+    mechanics, not the accuracy):
+
+    >>> from repro.core.model import CGNP, CGNPConfig
+    >>> from repro.graph import attributed_community_graph
+    >>> from repro.tasks import TaskSampler
+    >>> from repro.utils import make_rng
+    >>> graph = attributed_community_graph(
+    ...     num_nodes=40, num_communities=2, avg_degree=4.0, mixing=0.1,
+    ...     num_attributes=4, rng=make_rng(0))
+    >>> task = TaskSampler(graph, subgraph_nodes=30, num_support=2,
+    ...                    num_query=2).sample_task(make_rng(1))
+    >>> model = CGNP(task.features().shape[1],
+    ...              CGNPConfig(hidden_dim=8, num_layers=1, conv="gcn"),
+    ...              make_rng(2))
+    >>> engine = CommunitySearchEngine(model).attach(task)
+    >>> bool(0 in engine.query(0))        # q ∈ C_q by definition
+    True
+    >>> engine.stats().queries_served
+    1
     """
 
     def __init__(self, model: CGNP, threshold: float = 0.5,
@@ -329,8 +358,8 @@ class CommunitySearchEngine:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """A snapshot of the serving counters."""
-        return dataclasses.replace(self._stats)
+        """A snapshot of the serving counters (plus the active backend)."""
+        return dataclasses.replace(self._stats, backend=get_backend().name)
 
     def reset_stats(self) -> None:
         self._stats = EngineStats()

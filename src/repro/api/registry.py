@@ -55,6 +55,11 @@ class MethodSpec:
     ``pretrain_epochs`` / ``inner_steps_*`` budgets, per-task methods read
     ``per_task_steps``, and the graph algorithms ignore all of it.
     Defaults match the ``fast`` experiment profile.
+
+    >>> MethodSpec(name="CGNP-IP").replace(hidden_dim=128).hidden_dim
+    128
+    >>> MethodSpec(name="CTC").conv
+    'gat'
     """
 
     name: str
@@ -96,6 +101,19 @@ class MethodRegistry:
     Most code uses the module-level :data:`DEFAULT_REGISTRY` through
     :func:`register_method` / :func:`create_method`; separate instances
     are handy in tests or for experimental method suites.
+
+    >>> registry = MethodRegistry()
+    >>> @registry.register("Echo", rank=1)
+    ... def _build(spec):
+    ...     return spec.name.upper()
+    >>> registry.create("Echo")
+    'ECHO'
+    >>> "echo" in registry          # lookups are case-insensitive
+    True
+    >>> registry.names()
+    ('Echo',)
+    >>> registry.canonical_name("ECHO")
+    'Echo'
     """
 
     def __init__(self) -> None:

@@ -20,6 +20,7 @@ are needed at query time.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -27,7 +28,8 @@ import numpy as np
 
 from .api import CommunitySearchEngine, ModelBundle, available_methods
 from .core import CGNP, CGNPConfig, MetaTrainConfig, meta_train
-from .nn.backend import precision
+from .nn.backend import (available_backends, index_precision, make_backend,
+                         precision, use_backend)
 from .datasets import dataset_names, load_dataset
 from .eval import (
     PROFILES,
@@ -43,6 +45,52 @@ __all__ = ["main", "build_parser"]
 
 #: Query-time architecture flags superseded by the model bundle.
 DEPRECATED_QUERY_FLAGS = ("hidden_dim", "layers", "conv", "decoder")
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """The execution-policy flags shared by ``train`` and ``query``.
+
+    Defaults are ``None`` — an omitted flag keeps the ambient process
+    policy (``REPRO_BACKEND`` / ``REPRO_INDEX_DTYPE``, falling back to
+    numpy / int32), so the environment knobs stay effective on the CLI.
+    """
+    parser.add_argument("--backend", default=None,
+                        choices=list(available_backends()),
+                        help="array backend executing the sparse/dense "
+                             "kernels ('threaded' partitions spmm row "
+                             "ranges across a thread pool; outputs are "
+                             "bitwise identical to 'numpy'; default: "
+                             "the REPRO_BACKEND policy, i.e. numpy)")
+    parser.add_argument("--num-threads", type=int, default=None,
+                        help="worker count for --backend threaded "
+                             "(default: all cores)")
+    parser.add_argument("--index-dtype", default=None,
+                        choices=["int32", "int64"],
+                        help="width of edge lists, CSR structure and "
+                             "gather/scatter indices; int32 halves sparse "
+                             "index bandwidth and never changes values "
+                             "(default: the REPRO_INDEX_DTYPE policy, "
+                             "i.e. int32)")
+
+
+def _policy_scopes(args: argparse.Namespace) -> List:
+    """Context managers for the requested backend/index overrides.
+
+    Flags left at ``None`` contribute nothing, keeping the ambient
+    process policies in force.  Raises ``ValueError`` on inconsistent
+    combinations (``--num-threads`` without ``--backend threaded``).
+    """
+    scopes: List = []
+    if args.num_threads is not None and args.backend != "threaded":
+        raise ValueError("--num-threads only applies to --backend threaded")
+    if args.backend is not None:
+        options = {}
+        if args.num_threads is not None:
+            options["num_threads"] = args.num_threads
+        scopes.append(use_backend(make_backend(args.backend, **options)))
+    if args.index_dtype is not None:
+        scopes.append(index_precision(args.index_dtype))
+    return scopes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "bundle header and provenance; float64 matches "
                             "the paper-exact numerics, float32 roughly "
                             "doubles spmm/matmul throughput)")
+    _add_backend_flags(train)
 
     query = sub.add_parser("query", help="answer queries with a saved bundle")
     query.add_argument("--dataset", default="cora")
@@ -104,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serving precision (default float32 — weights "
                             "are cast on load; 'bundle' keeps the precision "
                             "the model was trained at)")
+    _add_backend_flags(query)
     # Deprecated no-ops: the architecture now travels inside the bundle.
     # Still accepted (and used as a fallback for legacy weight-only files)
     # so existing scripts keep working, with a warning.
@@ -175,10 +225,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    with precision(args.dtype):
+    try:
+        scopes = _policy_scopes(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(precision(args.dtype))
+        for scope in scopes:
+            stack.enter_context(scope)
         # The whole pipeline — task materialisation, model init, training —
-        # runs under the requested policy, so a float32 run never touches a
-        # float64 array.
+        # runs under the requested policies, so a float32/int32 run never
+        # touches a float64 array or an int64 index, and every kernel
+        # dispatches through the chosen backend.
         config = ScenarioConfig(
             num_train_tasks=args.tasks, num_valid_tasks=max(args.tasks // 4, 1),
             num_test_tasks=1, subgraph_nodes=args.subgraph_nodes,
@@ -195,18 +254,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
                            MetaTrainConfig(epochs=args.epochs,
                                            task_batch_size=args.task_batch_size),
                            rng, valid_tasks=tasks.valid)
-    bundle = ModelBundle.from_model(model, provenance={
-        "dataset": args.dataset,
-        "scenario": "sgsc",
-        "scale": args.scale,
-        "subgraph_nodes": args.subgraph_nodes,
-        "num_train_tasks": args.tasks,
-        "task_batch_size": args.task_batch_size,
-        "seed": args.seed,
-        "dtype": args.dtype,
-        "epochs_trained": len(state.epoch_losses),
-        "final_loss": float(state.epoch_losses[-1]),
-    })
+        # Snapshot inside the policy scopes so the bundle header records
+        # the backend and index width the run actually executed under.
+        bundle = ModelBundle.from_model(model, provenance={
+            "dataset": args.dataset,
+            "scenario": "sgsc",
+            "scale": args.scale,
+            "subgraph_nodes": args.subgraph_nodes,
+            "num_train_tasks": args.tasks,
+            "task_batch_size": args.task_batch_size,
+            "seed": args.seed,
+            "dtype": args.dtype,
+            "epochs_trained": len(state.epoch_losses),
+            "final_loss": float(state.epoch_losses[-1]),
+        })
     bundle.save(args.out)
     print(f"trained {len(state.epoch_losses)} epochs "
           f"(loss {state.epoch_losses[0]:.4f} -> {state.epoch_losses[-1]:.4f}); "
@@ -234,6 +295,19 @@ def _legacy_config(args: argparse.Namespace) -> CGNPConfig:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     _warn_deprecated_query_flags(args)
+    try:
+        scopes = _policy_scopes(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        for scope in scopes:
+            stack.enter_context(scope)
+        return _run_query(args)
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """The ``query`` body; runs under the selected backend/index policy."""
     dataset = load_dataset(args.dataset, scale=args.scale)
     sampler = TaskSampler(dataset.graph, subgraph_nodes=args.subgraph_nodes,
                           num_support=3, num_query=3)
@@ -284,7 +358,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"engine: {stats.queries_served} query(ies), "
           f"{stats.contexts_encoded} context encoding(s), "
           f"decode {stats.decode_seconds * 1e3:.1f} ms, "
-          f"dtype {engine.dtype.name}")
+          f"dtype {engine.dtype.name}, backend {stats.backend}")
     return 0
 
 

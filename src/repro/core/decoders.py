@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph import Graph
+from ..nn.backend import resolve_index_dtype
 from ..nn.layers import MLP
 from ..nn.module import Module
 from ..nn.tensor import Tensor
@@ -69,7 +70,7 @@ class Decoder(Module):
         context transform runs once for the whole batch.
         """
         transformed = self.transform(context, graph)
-        indices = np.asarray(queries, dtype=np.int64)
+        indices = np.asarray(queries, dtype=resolve_index_dtype())
         gathered = transformed.take_rows(indices)        # (B, d)
         return gathered.matmul(transformed.transpose())  # (B, n)
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Union
 import numpy as np
 
 from ..graph import Graph
+from ..nn.backend import index_dtype_for
 from ..nn.tensor import no_grad
 from ..tasks.task import Task
 from .model import CGNP
@@ -41,7 +42,8 @@ class QueryPrediction:
 
 def validate_queries(graph: Graph,
                      queries: Union[Sequence[int], np.ndarray]) -> np.ndarray:
-    """Coerce ``queries`` to an int64 array and bounds-check every node.
+    """Coerce ``queries`` to a policy-width index array and bounds-check
+    every node.
 
     Raises a :class:`ValueError` naming the offending ids instead of
     letting an out-of-range index surface as a raw numpy error deep in
@@ -49,9 +51,12 @@ def validate_queries(graph: Graph,
     than silently truncated to a different node.
     """
     try:
+        # Stage at int64: bounds are checked on the full-width values, so
+        # an id beyond the int32 policy range reports "out of range"
+        # below instead of overflowing the narrow cast.
         indices = np.asarray([operator.index(q) for q in queries],
                              dtype=np.int64)
-    except (TypeError, ValueError) as exc:
+    except (TypeError, ValueError, OverflowError) as exc:
         raise ValueError(f"query nodes must be integers: {exc}") from exc
     out_of_range = indices[(indices < 0) | (indices >= graph.num_nodes)]
     if out_of_range.size:
@@ -59,7 +64,9 @@ def validate_queries(graph: Graph,
         raise ValueError(
             f"query node(s) {bad} out of range for a graph with "
             f"{graph.num_nodes} nodes (valid ids: 0..{graph.num_nodes - 1})")
-    return indices
+    # index_dtype_for keeps int64 for graphs too large for the policy
+    # width (the ids were only bounds-checked against num_nodes).
+    return indices.astype(index_dtype_for(graph.num_nodes), copy=False)
 
 
 def _membership_probabilities(model: CGNP, task: Task,

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..graph import Graph, GraphBatch
 from ..nn import functional as F
-from ..nn.backend import resolve_dtype
+from ..nn.backend import index_dtype_for, resolve_dtype, resolve_index_dtype
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
 from ..gnn.encoder import GNNEncoder, make_query_features, make_support_features
@@ -155,14 +155,17 @@ class CGNP(Module):
         """
         tasks, support_sets = self._resolve_supports(tasks, supports)
         hidden, layout = self._encode_support_views(tasks, support_sets)
-        sizes = np.asarray([n for _, n in layout], dtype=np.int64)
-        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        sizes64 = np.asarray([n for _, n in layout], dtype=np.int64)
+        offsets64 = np.concatenate([[0], np.cumsum(sizes64)])
+        index_dtype = index_dtype_for(int(offsets64[-1]))
+        sizes = sizes64.astype(index_dtype, copy=False)
+        offsets = offsets64.astype(index_dtype, copy=False)
 
         if isinstance(self.aggregator, (SumAggregator, MeanAggregator)):
             if all(k == 1 for k, _ in layout):
                 return hidden, offsets          # 1-shot: views are contexts
             segment = np.concatenate(
-                [np.tile(np.arange(n, dtype=np.int64), k) + offset
+                [np.tile(np.arange(n, dtype=index_dtype), k) + int(offset)
                  for (k, n), offset in zip(layout, offsets[:-1])])
             combined = F.scatter_add(hidden, segment, int(offsets[-1]))
             if isinstance(self.aggregator, MeanAggregator):
@@ -253,7 +256,7 @@ class CGNP(Module):
         which is what makes Algorithm 2 serve many queries at the cost of
         roughly one.
         """
-        indices = np.asarray(queries, dtype=np.int64)
+        indices = np.asarray(queries, dtype=resolve_index_dtype())
         return self.decoder.forward_batch(context, indices, graph)
 
     def forward(self, task: Task, query: int,

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..graph import GraphBatch
+from ..nn.backend import resolve_index_dtype
 from ..nn.loss import bce_with_logits
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor
@@ -75,7 +76,8 @@ def task_loss(model: CGNP, task: Task) -> Tensor:
     if not task.queries:
         raise ValueError(f"task {task.name!r} has no query examples to train on")
     context = model.context(task)
-    queries = np.asarray([e.query for e in task.queries], dtype=np.int64)
+    queries = np.asarray([e.query for e in task.queries],
+                         dtype=resolve_index_dtype())
     logits = model.query_logits_batch(context, queries, task.graph)
     return _labelled_loss(logits, task)
 
@@ -104,7 +106,8 @@ def task_batch_loss(model: CGNP, tasks: Sequence[Task]) -> Tensor:
     total: Optional[Tensor] = None
     for index, task in enumerate(tasks):
         block = transformed[int(offsets[index]):int(offsets[index + 1])]
-        queries = np.asarray([e.query for e in task.queries], dtype=np.int64)
+        queries = np.asarray([e.query for e in task.queries],
+                             dtype=resolve_index_dtype())
         logits = block.take_rows(queries).matmul(block.transpose())  # (B_t, n_t)
         loss = _labelled_loss(logits, task)
         total = loss if total is None else total + loss

@@ -14,11 +14,11 @@ formulation:
 Graph-dependent operators (normalised adjacency + its pre-transposed
 backward operator, edge lists with self-loops) are computed once per
 graph — or per :class:`~repro.graph.batch.GraphBatch` — **per element
-dtype**, and memoised through the explicit
+and index dtype**, and memoised through the explicit
 :meth:`~repro.graph.graph.OpsCache.cached_ops` API by :func:`graph_ops`
-under the ``(op, dtype)`` key convention
-(``"gnn.message_passing.float32"`` and ``".float64"`` variants coexist
-on one graph).  A block-diagonal batch adjacency normalises blockwise
+under the ``(op, elem_dtype, index_dtype)`` key convention
+(``"gnn.message_passing.float32.int32"`` and ``".float64.int64"``
+variants coexist on one graph).  A block-diagonal batch adjacency normalises blockwise
 (no edges cross blocks, self-loops are per node), so the same operators
 drive single-graph and batched forwards without aliasing.
 """
@@ -34,7 +34,7 @@ import scipy.sparse as sp
 from ..graph import Graph, GraphBatch, stack_csr
 from ..nn import functional as F
 from ..nn import init
-from ..nn.backend import resolve_dtype
+from ..nn.backend import get_backend, resolve_dtype, resolve_index_dtype
 from ..nn.module import Module, Parameter
 from ..nn.sparse import normalized_adjacency, row_normalized_adjacency, spmm
 from ..nn.tensor import Tensor
@@ -47,8 +47,9 @@ __all__ = ["GraphOps", "GraphLike", "graph_ops",
 GraphLike = Union[Graph, GraphBatch]
 
 #: Cache-key *family* under which :func:`graph_ops` memoises operators;
-#: the concrete key appends the dtype name per the ``(op, dtype)``
-#: convention (see :class:`~repro.graph.graph.OpsCache`), and
+#: the concrete key appends the element- and index-dtype names per the
+#: ``(op, elem_dtype, index_dtype)`` convention (see
+#: :class:`~repro.graph.graph.OpsCache`), and
 #: ``invalidate_cached_ops(GRAPH_OPS_KEY)`` drops every dtype variant.
 GRAPH_OPS_KEY = "gnn.message_passing"
 
@@ -56,7 +57,8 @@ GRAPH_OPS_KEY = "gnn.message_passing"
 @dataclasses.dataclass
 class GraphOps:
     """Cached message-passing operators of one graph (or graph batch),
-    all materialised at one element dtype (``dtype``)."""
+    all materialised at one element dtype (``dtype``) and one index
+    dtype (``index_dtype``)."""
 
     norm_adj: sp.csr_matrix          # GCN: D̂^{-1/2}(A+I)D̂^{-1/2}
     norm_adj_t: sp.csr_matrix        # its backward operator (symmetric ⇒ alias)
@@ -66,30 +68,37 @@ class GraphOps:
     edge_dst: np.ndarray
     num_nodes: int
     dtype: np.dtype
+    index_dtype: np.dtype
 
 
-def _build_graph_ops(graph: GraphLike, dtype: np.dtype) -> GraphOps:
+def _build_graph_ops(graph: GraphLike, dtype: np.dtype,
+                     index_dtype: np.dtype) -> GraphOps:
     if isinstance(graph, GraphBatch):
-        return _compose_batch_ops(graph, dtype)
+        return _compose_batch_ops(graph, dtype, index_dtype)
     src, dst = graph.directed_edges()
-    loops = np.arange(graph.num_nodes, dtype=np.int64)
-    norm_adj = normalized_adjacency(graph.adjacency, dtype=dtype)
-    row_norm_adj = row_normalized_adjacency(graph.adjacency, dtype=dtype)
+    loops = np.arange(graph.num_nodes, dtype=index_dtype)
+    norm_adj = normalized_adjacency(graph.adjacency, dtype=dtype,
+                                    index_dtype=index_dtype)
+    row_norm_adj = row_normalized_adjacency(graph.adjacency, dtype=dtype,
+                                            index_dtype=index_dtype)
     return GraphOps(
         norm_adj=norm_adj,
         # The symmetric normalisation is its own transpose, so the
         # backward operator aliases the forward one.
         norm_adj_t=norm_adj,
         row_norm_adj=row_norm_adj,
-        row_norm_adj_t=row_norm_adj.T.tocsr(),
-        edge_src=np.concatenate([src, loops]),
-        edge_dst=np.concatenate([dst, loops]),
+        row_norm_adj_t=get_backend().to_operator(
+            row_norm_adj.T, dtype=dtype, index_dtype=index_dtype),
+        edge_src=np.concatenate([src, loops]).astype(index_dtype, copy=False),
+        edge_dst=np.concatenate([dst, loops]).astype(index_dtype, copy=False),
         num_nodes=graph.num_nodes,
         dtype=dtype,
+        index_dtype=index_dtype,
     )
 
 
-def _compose_batch_ops(batch: GraphBatch, dtype: np.dtype) -> GraphOps:
+def _compose_batch_ops(batch: GraphBatch, dtype: np.dtype,
+                       index_dtype: np.dtype) -> GraphOps:
     """Assemble a batch's operators from its members' cached operators.
 
     Normalisation is blockwise (no edges cross blocks, self-loops are per
@@ -100,36 +109,46 @@ def _compose_batch_ops(batch: GraphBatch, dtype: np.dtype) -> GraphOps:
     same holds for the transposed backward operators (a block-diagonal
     transpose is the block-diagonal of the transposes).
     """
-    member_ops = [graph_ops(g, dtype) for g in batch.graphs]
-    offsets = batch.offsets[:-1]
-    norm_adj = stack_csr([ops.norm_adj for ops in member_ops])
+    member_ops = [graph_ops(g, dtype, index_dtype) for g in batch.graphs]
+    # Python-int offsets keep the members' index width (int32 stays int32);
+    # the stacks take the explicit width so the cache key never lies about
+    # the operator it labels, whatever the ambient policy is.
+    offsets = [int(offset) for offset in batch.offsets[:-1]]
+    norm_adj = stack_csr([ops.norm_adj for ops in member_ops],
+                         index_dtype=index_dtype)
     return GraphOps(
         norm_adj=norm_adj,
         norm_adj_t=norm_adj,
-        row_norm_adj=stack_csr([ops.row_norm_adj for ops in member_ops]),
-        row_norm_adj_t=stack_csr([ops.row_norm_adj_t for ops in member_ops]),
+        row_norm_adj=stack_csr([ops.row_norm_adj for ops in member_ops],
+                               index_dtype=index_dtype),
+        row_norm_adj_t=stack_csr([ops.row_norm_adj_t for ops in member_ops],
+                                 index_dtype=index_dtype),
         edge_src=np.concatenate(
             [ops.edge_src + offset for ops, offset in zip(member_ops, offsets)]),
         edge_dst=np.concatenate(
             [ops.edge_dst + offset for ops, offset in zip(member_ops, offsets)]),
         num_nodes=batch.num_nodes,
         dtype=dtype,
+        index_dtype=index_dtype,
     )
 
 
-def graph_ops(graph: GraphLike, dtype=None) -> GraphOps:
+def graph_ops(graph: GraphLike, dtype=None, index_dtype=None) -> GraphOps:
     """Build (or fetch the cached) :class:`GraphOps` for ``graph``.
 
-    ``dtype`` selects the element width of the sparse operators (default:
-    the ambient precision policy); each width is memoised separately
-    under the ``(op, dtype)`` key.  Works identically for a
-    :class:`~repro.graph.graph.Graph` and a
+    ``dtype`` selects the element width of the sparse operators and
+    ``index_dtype`` the width of their structure/edge arrays (defaults:
+    the ambient precision and index policies); each combination is
+    memoised separately under the ``(op, elem_dtype, index_dtype)`` key.
+    Works identically for a :class:`~repro.graph.graph.Graph` and a
     :class:`~repro.graph.batch.GraphBatch`; each instance memoises its
     own operators via :meth:`~repro.graph.graph.OpsCache.cached_ops`.
     """
     resolved = resolve_dtype(dtype)
-    key = f"{GRAPH_OPS_KEY}.{resolved.name}"
-    return graph.cached_ops(key, lambda g: _build_graph_ops(g, resolved))
+    resolved_index = resolve_index_dtype(index_dtype)
+    key = f"{GRAPH_OPS_KEY}.{resolved.name}.{resolved_index.name}"
+    return graph.cached_ops(
+        key, lambda g: _build_graph_ops(g, resolved, resolved_index))
 
 
 class GCNConv(Module):

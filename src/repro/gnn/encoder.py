@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..nn import functional as F
+from ..nn.backend import resolve_index_dtype
 from ..nn.layers import Dropout
 from ..nn.module import Module, ModuleList
 from ..nn.tensor import Tensor
@@ -41,7 +42,7 @@ def make_query_features(features: np.ndarray, query: int,
     indicator = np.zeros((features.shape[0], 1), dtype=features.dtype)
     indicator[int(query), 0] = 1.0
     if positives is not None and len(positives) > 0:
-        indicator[np.asarray(positives, dtype=np.int64), 0] = 1.0
+        indicator[np.asarray(positives, dtype=resolve_index_dtype()), 0] = 1.0
     return np.concatenate([indicator, features], axis=1)
 
 
@@ -65,7 +66,7 @@ def make_support_features(features: np.ndarray, examples: Sequence,
         indicator[base + int(example.query), 0] = 1.0
         positives = example.positives if mark_positives else None
         if positives is not None and len(positives) > 0:
-            indicator[base + np.asarray(positives, dtype=np.int64), 0] = 1.0
+            indicator[base + np.asarray(positives, dtype=resolve_index_dtype()), 0] = 1.0
     return np.concatenate([indicator, np.tile(features, (k, 1))], axis=1)
 
 

@@ -31,18 +31,26 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
+from ..nn.backend import index_dtype_for, resolve_index_dtype
 from .graph import Graph, OpsCache
 
 __all__ = ["GraphBatch", "stack_csr"]
 
 
-def stack_csr(blocks: Sequence[sp.csr_matrix]) -> sp.csr_matrix:
+def stack_csr(blocks: Sequence[sp.csr_matrix],
+              index_dtype=None) -> sp.csr_matrix:
     """Block-diagonal stack of CSR matrices by raw index arithmetic.
 
     Equivalent to ``scipy.sparse.block_diag(blocks, format="csr")`` for
     square CSR inputs but skips the COO round-trip and re-validation —
     this runs once per training step, so assembly must cost no more than
     a few array concatenations.
+
+    ``index_dtype`` fixes the result's structure width (default: the
+    ambient index policy, int32), widened to int64 only when the stacked
+    totals genuinely overflow it.  The block layout is recorded on the
+    matrix as ``block_offsets`` — the row-partition hint
+    :class:`~repro.nn.backend.ThreadedBackend` aligns its spmm chunks to.
     """
     if not blocks:
         raise ValueError("stack_csr needs at least one block")
@@ -50,19 +58,26 @@ def stack_csr(blocks: Sequence[sp.csr_matrix]) -> sp.csr_matrix:
               for b in blocks]
     sizes = np.asarray([b.shape[0] for b in blocks], dtype=np.int64)
     node_offsets = np.concatenate([[0], np.cumsum(sizes)])
-    data = np.concatenate([b.data for b in blocks])
-    indices = np.concatenate(
-        [b.indices + offset for b, offset in zip(blocks, node_offsets[:-1])])
     nnz_offsets = np.concatenate(
         [[0], np.cumsum([b.nnz for b in blocks])]).astype(np.int64)
+    index_dtype = index_dtype_for(
+        int(max(node_offsets[-1], nnz_offsets[-1])), index_dtype)
+    data = np.concatenate([b.data for b in blocks])
+    # Python-int offsets keep the concatenated arrays at the blocks'
+    # own index width (a numpy int64 scalar would upcast int32 blocks).
+    indices = np.concatenate(
+        [b.indices.astype(index_dtype, copy=False) + int(offset)
+         for b, offset in zip(blocks, node_offsets[:-1])])
     indptr = np.concatenate(
-        [b.indptr[:-1] + offset for b, offset in zip(blocks, nnz_offsets[:-1])]
-        + [[nnz_offsets[-1]]])
+        [b.indptr[:-1].astype(index_dtype, copy=False) + int(offset)
+         for b, offset in zip(blocks, nnz_offsets[:-1])]
+        + [np.asarray([nnz_offsets[-1]], dtype=index_dtype)])
     total = int(node_offsets[-1])
     # The arrays are canonical by construction (sorted indices, no
     # duplicates), so build without scipy's per-instance validation pass.
     stacked = sp.csr_matrix((total, total))
     stacked.data, stacked.indices, stacked.indptr = data, indices, indptr
+    stacked.block_offsets = node_offsets
     return stacked
 
 
@@ -95,12 +110,17 @@ class GraphBatch(OpsCache):
         if not members:
             raise ValueError("GraphBatch needs at least one graph")
         self.graphs: List[Graph] = members
-        self.sizes = np.asarray([g.num_nodes for g in members], dtype=np.int64)
-        self.offsets = np.concatenate([[0], np.cumsum(self.sizes)]).astype(np.int64)
+        # Staged at int64, narrowed to the policy width only when the
+        # stacked total actually fits it (index_dtype_for widens).
+        sizes = np.asarray([g.num_nodes for g in members], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        index_dtype = index_dtype_for(int(offsets[-1]))
+        self.sizes = sizes.astype(index_dtype, copy=False)
+        self.offsets = offsets.astype(index_dtype, copy=False)
         self.num_nodes = int(self.offsets[-1])
         self.num_graphs = len(members)
         self.node_graph_index = np.repeat(
-            np.arange(self.num_graphs, dtype=np.int64), self.sizes)
+            np.arange(self.num_graphs, dtype=index_dtype), self.sizes)
         self._adjacency: Optional[sp.csr_matrix] = None
         self.name = f"batch[{self.num_graphs}]"
 
@@ -145,16 +165,17 @@ class GraphBatch(OpsCache):
         destinations: List[np.ndarray] = []
         for offset, graph in zip(self.offsets[:-1], self.graphs):
             src, dst = graph.directed_edges()
-            sources.append(src + offset)
-            destinations.append(dst + offset)
+            # Python-int offsets keep the member arrays' index width.
+            sources.append(src + int(offset))
+            destinations.append(dst + int(offset))
         if not sources:
-            empty = np.zeros(0, dtype=np.int64)
+            empty = np.zeros(0, dtype=resolve_index_dtype())
             return empty, empty
         return np.concatenate(sources), np.concatenate(destinations)
 
     def degrees(self) -> np.ndarray:
         """Degree of every global node (concatenated member degrees)."""
-        return np.diff(self.adjacency.indptr).astype(np.int64)
+        return np.diff(self.adjacency.indptr)
 
     # ------------------------------------------------------------------
     # Scatter / unscatter
@@ -166,12 +187,15 @@ class GraphBatch(OpsCache):
             raise IndexError(
                 f"graph index {graph_index} out of range for a batch of "
                 f"{self.num_graphs}")
+        # Staged at int64 so an id beyond the int32 policy range is
+        # reported as out of range rather than overflowing the cast.
         local = np.asarray(local_nodes, dtype=np.int64)
         if local.size and (local.min() < 0 or local.max() >= self.sizes[graph_index]):
             raise ValueError(
                 f"local node ids out of range for member {graph_index} "
                 f"({self.sizes[graph_index]} nodes)")
-        return local + self.offsets[graph_index]
+        return (local.astype(self.offsets.dtype, copy=False)
+                + int(self.offsets[graph_index]))
 
     def block(self, graph_index: int) -> Tuple[int, int]:
         """Global ``(start, stop)`` node-id range of member ``graph_index``."""

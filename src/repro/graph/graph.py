@@ -19,7 +19,8 @@ from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
 import numpy as np
 import scipy.sparse as sp
 
-from ..nn.backend import resolve_dtype
+from ..nn.backend import (get_backend, index_dtype_for, resolve_dtype,
+                          resolve_index_dtype)
 
 __all__ = ["Graph", "OpsCache"]
 
@@ -40,13 +41,16 @@ class OpsCache:
     way to drop stale entries.
 
     **Cache-key convention.**  Operators whose values depend on the
-    element width are keyed ``(op, dtype)``, spelled
-    ``"<op>.<dtype-name>"`` — e.g. ``"gnn.message_passing.float32"`` and
-    ``"gnn.message_passing.float64"`` live side by side on one graph, so
-    a float64 trainer and a float32 server can share task graphs without
-    thrashing each other's operators.  :meth:`invalidate_cached_ops`
-    treats a key as a family prefix: invalidating ``"<op>"`` also drops
-    every ``"<op>.<suffix>"`` variant.
+    element or index width are keyed ``(op, elem_dtype, index_dtype)``,
+    spelled ``"<op>.<elem-name>.<index-name>"`` — e.g.
+    ``"gnn.message_passing.float32.int32"`` and
+    ``"gnn.message_passing.float64.int64"`` live side by side on one
+    graph, so a float64 trainer and a float32 server can share task
+    graphs without thrashing each other's operators.
+    :meth:`invalidate_cached_ops` treats a key as a family prefix:
+    invalidating ``"<op>"`` also drops every ``"<op>.<suffix>"``
+    variant (and invalidating ``"<op>.<elem-name>"`` drops every index
+    width of that element width).
     """
 
     def cached_ops(self, key: str, builder: Callable[["OpsCache"], T]) -> T:
@@ -108,9 +112,17 @@ class Graph(OpsCache):
         self.num_nodes = int(num_nodes)
         self.name = name
 
+        # Edge lists adopt the ambient index policy (int32 by default):
+        # graphs here never approach 2^31 nodes, and the edge arrays feed
+        # straight into the CSR structure whose bandwidth the policy
+        # halves.  Canonicalisation runs at int64 so out-of-range
+        # endpoints are *reported* (not wrapped or overflowed) before the
+        # narrow cast; a graph too large for the policy width keeps int64.
         edge_array = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
         edge_array = self._canonicalize_edges(edge_array, self.num_nodes)
-        self._edges = edge_array  # canonical (u < v), unique, no self-loops
+        # canonical (u < v), unique, no self-loops
+        self._edges = edge_array.astype(index_dtype_for(self.num_nodes),
+                                        copy=False)
 
         self.adjacency = self._build_adjacency(edge_array, self.num_nodes)
 
@@ -142,7 +154,7 @@ class Graph(OpsCache):
                     self._node_communities.setdefault(node, []).append(index)
 
         if parent_nodes is not None:
-            parent_nodes = np.asarray(parent_nodes, dtype=np.int64)
+            parent_nodes = np.asarray(parent_nodes, dtype=resolve_index_dtype())
             if parent_nodes.shape != (self.num_nodes,):
                 raise ValueError("parent_nodes must have one entry per node")
         self.parent_nodes = parent_nodes
@@ -154,7 +166,7 @@ class Graph(OpsCache):
     def _canonicalize_edges(edges: np.ndarray, num_nodes: int) -> np.ndarray:
         """Drop self-loops/duplicates and orient every edge as (min, max)."""
         if edges.size == 0:
-            return np.zeros((0, 2), dtype=np.int64)
+            return np.zeros((0, 2), dtype=edges.dtype)
         if edges.min() < 0 or edges.max() >= num_nodes:
             raise ValueError("edge endpoint out of range")
         low = np.minimum(edges[:, 0], edges[:, 1])
@@ -162,17 +174,23 @@ class Graph(OpsCache):
         keep = low != high
         canonical = np.stack([low[keep], high[keep]], axis=1)
         if canonical.size == 0:
-            return np.zeros((0, 2), dtype=np.int64)
+            return np.zeros((0, 2), dtype=edges.dtype)
         return np.unique(canonical, axis=0)
 
     @staticmethod
     def _build_adjacency(edges: np.ndarray, num_nodes: int) -> sp.csr_matrix:
+        # Canonicalised through the backend so the stored CSR structure
+        # carries the ambient index policy width (int32 by default) —
+        # scipy's COO→CSR conversion chooses its own index dtype.
         if edges.size == 0:
-            return sp.csr_matrix((num_nodes, num_nodes), dtype=resolve_dtype())
+            empty = sp.csr_matrix((num_nodes, num_nodes), dtype=resolve_dtype())
+            return get_backend().to_operator(empty)
         rows = np.concatenate([edges[:, 0], edges[:, 1]])
         cols = np.concatenate([edges[:, 1], edges[:, 0]])
         data = np.ones(rows.shape[0], dtype=resolve_dtype())
-        return sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+        adjacency = sp.csr_matrix((data, (rows, cols)),
+                                  shape=(num_nodes, num_nodes))
+        return get_backend().to_operator(adjacency)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -211,8 +229,8 @@ class Graph(OpsCache):
         return self.adjacency.indices[start:stop]
 
     def degrees(self) -> np.ndarray:
-        """Degree of every node."""
-        return np.diff(self.adjacency.indptr).astype(np.int64)
+        """Degree of every node (at the adjacency's index width)."""
+        return np.diff(self.adjacency.indptr)
 
     def has_edge(self, u: int, v: int) -> bool:
         if u == v:
@@ -244,7 +262,8 @@ class Graph(OpsCache):
 
     def nodes_with_ground_truth(self) -> np.ndarray:
         """Nodes belonging to at least one ground-truth community."""
-        return np.asarray(sorted(self._node_communities), dtype=np.int64)
+        return np.asarray(sorted(self._node_communities),
+                          dtype=resolve_index_dtype())
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -256,7 +275,8 @@ class Graph(OpsCache):
         Node ``i`` of the result corresponds to ``nodes[i]`` of this graph
         (also recorded in ``parent_nodes``).
         """
-        node_list = np.asarray(list(dict.fromkeys(int(v) for v in nodes)), dtype=np.int64)
+        node_list = np.asarray(list(dict.fromkeys(int(v) for v in nodes)),
+                               dtype=resolve_index_dtype())
         if node_list.size == 0:
             raise ValueError("cannot induce an empty subgraph")
         local_of = {int(v): i for i, v in enumerate(node_list)}
@@ -267,7 +287,7 @@ class Graph(OpsCache):
             for w in self.neighbors(int(u)):
                 if int(w) in node_set and int(u) < int(w):
                     kept_edges.append((local_of[int(u)], local_of[int(w)]))
-        edges = np.asarray(kept_edges, dtype=np.int64).reshape(-1, 2)
+        edges = np.asarray(kept_edges, dtype=resolve_index_dtype()).reshape(-1, 2)
 
         attributes = None
         if self.attributes is not None:

@@ -1,7 +1,7 @@
-"""Precision policy and the pluggable array backend.
+"""Precision policies and the pluggable array backend.
 
-This module is the single source of truth for two cross-cutting numerical
-choices that used to be hardwired all over the stack:
+This module is the single source of truth for three cross-cutting
+numerical choices that used to be hardwired all over the stack:
 
 * **Which element width to compute in.**  The CGNP hot path (spmm and
   dense matmul) is memory-bandwidth-bound, so halving the element width
@@ -14,21 +14,47 @@ choices that used to be hardwired all over the stack:
   per-context with ``with precision("float32"):`` or process-wide via the
   ``REPRO_DTYPE`` environment variable / :func:`set_default_dtype`.
 
+* **Which index width sparse structure uses.**  Edge lists, CSR
+  ``indices``/``indptr`` and gather/scatter/segment index arrays never
+  need to address more than 2^31 nodes in this repository, so they
+  default to ``int32`` — halving the index bandwidth of every sparse
+  op.  The index policy mirrors the element policy exactly:
+  :func:`resolve_index_dtype` is the one call every index-creating site
+  makes, ``with index_precision("int64"):`` scopes an override, and
+  ``REPRO_INDEX_DTYPE`` / :func:`set_default_index_dtype` set the
+  process default.  Index width never changes computed *values* — only
+  the width of the bookkeeping arrays — so switching it is always
+  numerically safe.
+
 * **Which array library executes the dense/sparse kernels.**  The
   :class:`ArrayBackend` protocol gathers the operations the autograd
   engine actually dispatches — dense matmul, sparse-dense matmul, array
   creation, RNG construction — behind one object.  The default
-  :class:`NumpyBackend` runs on NumPy + SciPy; alternative backends
-  (threaded spmm, numba kernels, GPU arrays) implement the same surface
-  and are installed with :func:`set_backend` / ``with use_backend(...)``.
+  :class:`NumpyBackend` runs on NumPy + SciPy; :class:`ThreadedBackend`
+  partitions spmm row ranges across a reusable thread pool (SciPy's CSR
+  kernels release the GIL, so the partitions genuinely run in parallel
+  on multi-core machines).  Backends are installed with
+  :func:`set_backend` / ``with use_backend(...)`` — both accept a
+  registered name (``"numpy"``, ``"threaded"``) or an instance — and the
+  process default comes from the ``REPRO_BACKEND`` environment variable.
 
 Cache-key convention
 --------------------
-Derived operators whose values depend on the element width are memoised
-under ``(op, dtype)`` keys spelled ``"<op>.<dtype-name>"`` (e.g.
-``"gnn.message_passing.float32"``) in each graph's
+Derived operators whose values depend on the element *or* index width
+are memoised under ``(op, elem_dtype, index_dtype)`` keys spelled
+``"<op>.<elem-name>.<index-name>"`` (e.g.
+``"gnn.message_passing.float32.int32"``) in each graph's
 :class:`~repro.graph.graph.OpsCache`.  ``invalidate_cached_ops("<op>")``
 drops every dtype variant of the family at once.
+
+>>> with precision("float32"):
+...     resolve_dtype().name
+'float32'
+>>> resolve_index_dtype("int64").name
+'int64'
+>>> with use_backend("threaded"):
+...     get_backend().name
+'threaded'
 """
 
 from __future__ import annotations
@@ -36,20 +62,37 @@ from __future__ import annotations
 import contextlib
 import os
 import threading
-from typing import Iterator, Optional, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+try:  # SciPy's raw CSR kernels (the same ones ``A @ X`` dispatches to).
+    from scipy.sparse import _sparsetools as _csr_kernels
+except ImportError:  # pragma: no cover - exercised only on exotic SciPy
+    _csr_kernels = None
+
 __all__ = [
     "SUPPORTED_DTYPES",
+    "SUPPORTED_INDEX_DTYPES",
     "Precision",
     "precision",
+    "index_precision",
     "default_dtype",
+    "default_index_dtype",
     "set_default_dtype",
+    "set_default_index_dtype",
     "resolve_dtype",
+    "resolve_index_dtype",
+    "index_dtype_for",
+    "as_index_array",
     "ArrayBackend",
     "NumpyBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "register_backend",
+    "make_backend",
     "get_backend",
     "set_backend",
     "use_backend",
@@ -57,6 +100,9 @@ __all__ = [
 
 #: The element widths the stack supports end to end.
 SUPPORTED_DTYPES = ("float32", "float64")
+
+#: The index widths sparse structure supports end to end.
+SUPPORTED_INDEX_DTYPES = ("int32", "int64")
 
 DTypeLike = Union[str, type, np.dtype, "Precision"]
 
@@ -80,12 +126,36 @@ def _canonical_dtype(dtype: DTypeLike) -> np.dtype:
     return resolved
 
 
+def _canonical_index_dtype(dtype: DTypeLike) -> np.dtype:
+    """Validate and normalise an index ``dtype`` to a numpy dtype object."""
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValueError(
+            f"unsupported index dtype {dtype!r}; choose from "
+            f"{SUPPORTED_INDEX_DTYPES}") from exc
+    if resolved.name not in SUPPORTED_INDEX_DTYPES:
+        raise ValueError(
+            f"unsupported index dtype {resolved.name!r}; choose from "
+            f"{SUPPORTED_INDEX_DTYPES}")
+    return resolved
+
+
 class Precision:
     """A value object naming one supported element width.
 
     Mostly used through the module-level helpers (:func:`precision`,
     :func:`resolve_dtype`), but passing a ``Precision`` anywhere a dtype
     is accepted also works.
+
+    >>> Precision("float32").name
+    'float32'
+    >>> Precision(np.float64) == Precision("float64")
+    True
+    >>> Precision("fp8")
+    Traceback (most recent call last):
+        ...
+    ValueError: unsupported precision 'fp8'; choose from ('float32', 'float64')
     """
 
     __slots__ = ("dtype",)
@@ -123,17 +193,31 @@ def _precision_from_env() -> Precision:
             f"invalid REPRO_DTYPE environment variable: {exc}") from exc
 
 
+def _index_dtype_from_env() -> np.dtype:
+    """The process default from ``REPRO_INDEX_DTYPE`` (default int32)."""
+    value = os.environ.get("REPRO_INDEX_DTYPE", "int32")
+    try:
+        return _canonical_index_dtype(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"invalid REPRO_INDEX_DTYPE environment variable: {exc}") from exc
+
+
 #: Process-wide default precision; ``precision(...)`` overrides are
 #: per-thread, but this base is shared so ``set_default_dtype`` is
 #: visible from worker threads too.
 _PROCESS_DEFAULT_PRECISION = _precision_from_env()
 
+#: Process-wide default index width (same sharing rules as above).
+_PROCESS_DEFAULT_INDEX_DTYPE = _index_dtype_from_env()
+
 
 class _PolicyState(threading.local):
-    """Per-thread stack of scoped ``precision(...)`` overrides."""
+    """Per-thread stacks of scoped policy overrides."""
 
     def __init__(self):
         self.stack = []
+        self.index_stack = []
 
 
 _POLICY = _PolicyState()
@@ -146,6 +230,13 @@ def default_dtype() -> np.dtype:
     return (stack[-1] if stack else _PROCESS_DEFAULT_PRECISION).dtype
 
 
+def default_index_dtype() -> np.dtype:
+    """The ambient index dtype (innermost ``index_precision`` context
+    wins, falling back to the process-wide default)."""
+    stack = _POLICY.index_stack
+    return stack[-1] if stack else _PROCESS_DEFAULT_INDEX_DTYPE
+
+
 def set_default_dtype(dtype: DTypeLike) -> None:
     """Replace the process-wide default precision (all threads).
 
@@ -154,6 +245,12 @@ def set_default_dtype(dtype: DTypeLike) -> None:
     """
     global _PROCESS_DEFAULT_PRECISION
     _PROCESS_DEFAULT_PRECISION = Precision(dtype)
+
+
+def set_default_index_dtype(dtype: DTypeLike) -> None:
+    """Replace the process-wide default index width (all threads)."""
+    global _PROCESS_DEFAULT_INDEX_DTYPE
+    _PROCESS_DEFAULT_INDEX_DTYPE = _canonical_index_dtype(dtype)
 
 
 @contextlib.contextmanager
@@ -167,6 +264,22 @@ def precision(dtype: DTypeLike) -> Iterator[Precision]:
         _POLICY.stack.pop()
 
 
+@contextlib.contextmanager
+def index_precision(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Scoped index-width override.
+
+    >>> with index_precision("int64"):
+    ...     resolve_index_dtype().name
+    'int64'
+    """
+    resolved = _canonical_index_dtype(dtype)
+    _POLICY.index_stack.append(resolved)
+    try:
+        yield resolved
+    finally:
+        _POLICY.index_stack.pop()
+
+
 def resolve_dtype(dtype: Optional[DTypeLike] = None) -> np.dtype:
     """``dtype`` normalised, or the ambient policy dtype when ``None``.
 
@@ -178,15 +291,76 @@ def resolve_dtype(dtype: Optional[DTypeLike] = None) -> np.dtype:
     return _canonical_dtype(dtype)
 
 
+def resolve_index_dtype(dtype: Optional[DTypeLike] = None) -> np.dtype:
+    """``dtype`` normalised, or the ambient index dtype when ``None``.
+
+    The one call every index-creating site (edge lists, CSR structure,
+    gather/scatter/segment indices) makes instead of naming ``np.int64``.
+
+    >>> with index_precision("int32"):
+    ...     resolve_index_dtype().name
+    'int32'
+    >>> resolve_index_dtype("int64") is np.dtype(np.int64)
+    True
+    """
+    if dtype is None:
+        return default_index_dtype()
+    return _canonical_index_dtype(dtype)
+
+
+def index_dtype_for(max_value: int,
+                    dtype: Optional[DTypeLike] = None) -> np.dtype:
+    """The resolved index dtype, widened to int64 when ``max_value``
+    genuinely overflows it — correctness beats bandwidth.
+
+    Every site that narrows an int64-staged index array (edge lists,
+    batch offsets, validated query ids) routes through this so the
+    overflow guard lives in exactly one place.
+
+    >>> with index_precision("int32"):
+    ...     (index_dtype_for(100).name, index_dtype_for(2 ** 40).name)
+    ('int32', 'int64')
+    """
+    resolved = resolve_index_dtype(dtype)
+    if max_value > np.iinfo(resolved).max:
+        return np.dtype(np.int64)
+    return resolved
+
+
+def as_index_array(indices) -> np.ndarray:
+    """``indices`` as an integer array at the ambient index policy width.
+
+    Arrays that are already integral pass through unchanged — they were
+    materialised under some policy, and re-casting per call would waste
+    the bandwidth the policy saves.  The gather (``Tensor.take_rows``)
+    and scatter/segment (``repro.nn.functional``) paths share this
+    coercion so they can never diverge.
+    """
+    if isinstance(indices, np.ndarray) and np.issubdtype(indices.dtype,
+                                                         np.integer):
+        return indices
+    return np.asarray(indices, dtype=resolve_index_dtype())
+
+
 class ArrayBackend:
     """Protocol for the dense/sparse kernels the autograd engine dispatches.
 
     The base class documents the surface; :class:`NumpyBackend` is the
-    reference implementation.  An alternative backend subclasses this,
-    overrides the kernels it accelerates, and is installed via
-    :func:`set_backend` (process-wide) or ``with use_backend(...)``
-    (scoped).  All methods take and return numpy-compatible arrays so
-    backends can be swapped without touching the layers above.
+    reference implementation and :class:`ThreadedBackend` the parallel
+    one.  An alternative backend subclasses this, overrides the kernels
+    it accelerates, and is installed via :func:`set_backend`
+    (process-wide) or ``with use_backend(...)`` (scoped).  All methods
+    take and return numpy-compatible arrays so backends can be swapped
+    without touching the layers above.  See ``docs/backends.md`` for a
+    walkthrough of writing one.
+
+    >>> class NegatingBackend(NumpyBackend):
+    ...     name = "negating"
+    ...     def matmul(self, a, b):
+    ...         return -np.matmul(a, b)
+    >>> with use_backend(NegatingBackend()):
+    ...     float(get_backend().matmul(np.eye(2), np.eye(2))[0, 0])
+    -1.0
     """
 
     #: Human-readable backend identifier (recorded in provenance).
@@ -216,9 +390,11 @@ class ArrayBackend:
         raise NotImplementedError
 
     def to_operator(self, matrix: sp.spmatrix,
-                    dtype: Optional[DTypeLike] = None) -> sp.csr_matrix:
+                    dtype: Optional[DTypeLike] = None,
+                    index_dtype: Optional[DTypeLike] = None) -> sp.csr_matrix:
         """Canonicalise a sparse matrix into this backend's operator form
-        (CSR at the resolved dtype), copying only when necessary."""
+        (CSR at the resolved element *and* index dtypes), copying only
+        when necessary."""
         raise NotImplementedError
 
     # -- randomness -----------------------------------------------------
@@ -251,20 +427,263 @@ class NumpyBackend(ArrayBackend):
         return matrix @ dense
 
     def to_operator(self, matrix: sp.spmatrix,
-                    dtype: Optional[DTypeLike] = None) -> sp.csr_matrix:
+                    dtype: Optional[DTypeLike] = None,
+                    index_dtype: Optional[DTypeLike] = None) -> sp.csr_matrix:
         target = resolve_dtype(dtype)
         operator = matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
         if operator.dtype != target:
             operator = operator.astype(target)
-        return operator
+        return _canonicalise_operator_indices(
+            operator, resolve_index_dtype(index_dtype))
 
     def rng(self, seed: int) -> np.random.Generator:
         return np.random.default_rng(seed)
 
 
+def _canonicalise_operator_indices(operator: sp.csr_matrix,
+                                   index_dtype: np.dtype) -> sp.csr_matrix:
+    """CSR with ``indices``/``indptr`` at ``index_dtype``, sharing data.
+
+    Falls back to int64 when the matrix genuinely needs it (shape or nnz
+    beyond the int32 range) — correctness beats bandwidth.  Never mutates
+    the input: a fresh container shares the data array and casts only the
+    structure arrays that differ.
+    """
+    index_dtype = index_dtype_for(max(max(operator.shape), operator.nnz),
+                                  index_dtype)
+    if (operator.indices.dtype == index_dtype
+            and operator.indptr.dtype == index_dtype):
+        return operator
+    recast = sp.csr_matrix(operator.shape, dtype=operator.dtype)
+    recast.data = operator.data
+    recast.indices = operator.indices.astype(index_dtype, copy=False)
+    recast.indptr = operator.indptr.astype(index_dtype, copy=False)
+    block_offsets = getattr(operator, "block_offsets", None)
+    if block_offsets is not None:
+        recast.block_offsets = block_offsets
+    return recast
+
+
+class ThreadedBackend(NumpyBackend):
+    """Row-partitioned spmm over a reusable thread pool.
+
+    ``spmm`` splits the CSR row range into ``num_threads`` chunks —
+    aligned to block boundaries when the operator came from a
+    block-diagonal :func:`~repro.graph.batch.stack_csr` collation
+    (``block_offsets`` attribute), nnz-balanced even row splits
+    otherwise — and runs SciPy's own CSR kernel on each chunk directly
+    into a shared output.  The kernels release the GIL, so chunks execute
+    in parallel on multi-core machines; per-row arithmetic is the exact
+    scipy kernel in the exact same order, so outputs are **bitwise
+    identical** to :class:`NumpyBackend` at any thread count.
+
+    Below ``serial_rows`` rows the partitioning overhead outweighs the
+    win and ``spmm`` runs the kernel serially (still skipping SciPy's
+    per-call dispatch/validation).  Everything else (dense matmul, array
+    creation, RNG) is inherited from :class:`NumpyBackend`.
+
+    Parameters
+    ----------
+    num_threads:
+        Worker count; default ``REPRO_NUM_THREADS`` or ``os.cpu_count()``.
+    serial_rows:
+        Row count under which spmm stays single-threaded.
+
+    >>> rng = np.random.default_rng(0)
+    >>> operator = sp.csr_matrix((rng.random((64, 64)) < 0.2)
+    ...                          * rng.standard_normal((64, 64)))
+    >>> dense = rng.standard_normal((64, 8))
+    >>> backend = ThreadedBackend(num_threads=4)
+    >>> bool(np.array_equal(backend.spmm(operator, dense),
+    ...                     NumpyBackend().spmm(operator, dense)))
+    True
+    """
+
+    name = "threaded"
+
+    def __init__(self, num_threads: Optional[int] = None,
+                 serial_rows: int = 2048):
+        if num_threads is None:
+            env = os.environ.get("REPRO_NUM_THREADS", "")
+            num_threads = int(env) if env else (os.cpu_count() or 1)
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = int(num_threads)
+        self.serial_rows = int(serial_rows)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- pool lifecycle -------------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    # The submitting thread always computes one chunk
+                    # itself, so the pool needs one fewer worker.
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=max(self.num_threads - 1, 1),
+                        thread_name_prefix="repro-spmm")
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (it is rebuilt lazily on next use)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- the partitioned kernel -----------------------------------------
+    @staticmethod
+    def _kernel_rows(matrix: sp.csr_matrix, dense: np.ndarray,
+                     out: np.ndarray, lo: int, hi: int) -> None:
+        """Rows ``[lo, hi)`` of ``matrix @ dense`` into ``out[lo:hi]``.
+
+        ``indptr[lo:hi+1]`` holds *absolute* offsets into the full
+        ``indices``/``data`` arrays, which is exactly what the kernel
+        indexes with — so a row-range call needs no copy of the operator.
+        ``out`` must be zero-initialised (the kernels accumulate).
+        """
+        indptr = matrix.indptr[lo:hi + 1]
+        if dense.ndim == 1:
+            _csr_kernels.csr_matvec(
+                hi - lo, matrix.shape[1], indptr, matrix.indices,
+                matrix.data, dense, out[lo:hi])
+        else:
+            _csr_kernels.csr_matvecs(
+                hi - lo, matrix.shape[1], dense.shape[1], indptr,
+                matrix.indices, matrix.data, dense.reshape(-1),
+                out[lo:hi].reshape(-1))
+
+    def _row_bounds(self, matrix: sp.csr_matrix) -> np.ndarray:
+        """Chunk boundaries balancing nnz across ``num_threads`` chunks.
+
+        Block-diagonal operators carry their collation offsets
+        (``block_offsets``); cutting only at block boundaries keeps each
+        member graph's rows on one thread, which preserves cache locality
+        of the member's column range.  Other operators cut wherever the
+        nnz prefix crosses each balance target.
+        """
+        rows = matrix.shape[0]
+        nnz = int(matrix.indptr[-1])
+        targets = (np.arange(1, self.num_threads, dtype=np.int64)
+                   * nnz) // self.num_threads
+        blocks = getattr(matrix, "block_offsets", None)
+        if blocks is not None and len(blocks) > 2:
+            candidates = np.asarray(blocks, dtype=np.int64)
+            prefix = matrix.indptr[candidates].astype(np.int64)
+            cuts = candidates[np.searchsorted(prefix, targets)]
+        else:
+            cuts = np.searchsorted(matrix.indptr, targets).astype(np.int64)
+        return np.unique(np.concatenate([[0], cuts, [rows]]))
+
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        rows = matrix.shape[0]
+        if (_csr_kernels is None
+                or getattr(matrix, "format", None) != "csr"
+                or matrix.dtype != dense.dtype
+                or matrix.indices.dtype != matrix.indptr.dtype
+                or dense.ndim not in (1, 2)
+                or matrix.shape[1] != dense.shape[0]
+                or not dense.flags.c_contiguous):
+            # Anything the raw kernels can't take verbatim goes through
+            # scipy's own dispatch (which handles upcasts, layouts, and
+            # raises the dimension-mismatch error for bad shapes — the
+            # raw kernels would read out of bounds instead).
+            return matrix @ dense
+        out = np.zeros((rows,) + dense.shape[1:], dtype=dense.dtype)
+        if self.num_threads == 1 or rows < self.serial_rows:
+            self._kernel_rows(matrix, dense, out, 0, rows)
+            return out
+        bounds = self._row_bounds(matrix)
+        if len(bounds) < 3:
+            self._kernel_rows(matrix, dense, out, 0, rows)
+            return out
+        pool = self._executor()
+        futures = [pool.submit(self._kernel_rows, matrix, dense, out,
+                               int(lo), int(hi))
+                   for lo, hi in zip(bounds[:-2], bounds[1:-1])]
+        # The caller computes the last chunk itself instead of idling.
+        self._kernel_rows(matrix, dense, out, int(bounds[-2]), int(bounds[-1]))
+        for future in futures:
+            future.result()
+        return out
+
+
+#: Registered backend factories, keyed by name.
+_BACKEND_FACTORIES: Dict[str, Callable[..., ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "threaded": ThreadedBackend,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted.
+
+    >>> available_backends()
+    ('numpy', 'threaded')
+    """
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def register_backend(name: str,
+                     factory: Callable[..., ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` for :func:`make_backend`.
+
+    Re-registering a name is an error — it almost always indicates an
+    accidental double import.
+    """
+    key = name.strip().lower()
+    if key in _BACKEND_FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKEND_FACTORIES[key] = factory
+
+
+def make_backend(name: str, **options) -> ArrayBackend:
+    """Instantiate a registered backend by name.
+
+    ``options`` are forwarded to the factory (e.g.
+    ``make_backend("threaded", num_threads=4)``).
+
+    >>> make_backend("numpy").name
+    'numpy'
+    >>> make_backend("threaded", num_threads=2).num_threads
+    2
+    """
+    factory = _BACKEND_FACTORIES.get(name.strip().lower())
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {available_backends()}")
+    return factory(**options)
+
+
+def _coerce_backend(backend: Union[str, ArrayBackend],
+                    **options) -> ArrayBackend:
+    if isinstance(backend, str):
+        return make_backend(backend, **options)
+    if options:
+        raise TypeError(
+            "backend options are only accepted together with a backend "
+            "name, not a ready instance")
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(
+            f"expected an ArrayBackend or a registered backend name, got "
+            f"{type(backend).__name__}")
+    return backend
+
+
+def _backend_from_env() -> ArrayBackend:
+    """The process default from ``REPRO_BACKEND`` (default numpy)."""
+    name = os.environ.get("REPRO_BACKEND", "numpy")
+    try:
+        return make_backend(name)
+    except ValueError as exc:
+        raise ValueError(
+            f"invalid REPRO_BACKEND environment variable: {exc}") from exc
+
+
 #: Process-wide default backend (shared across threads, like the
 #: precision default); ``use_backend`` overrides are per-thread.
-_PROCESS_DEFAULT_BACKEND = NumpyBackend()
+_PROCESS_DEFAULT_BACKEND = _backend_from_env()
 
 
 class _BackendState(threading.local):
@@ -284,23 +703,26 @@ def get_backend() -> ArrayBackend:
     return stack[-1] if stack else _PROCESS_DEFAULT_BACKEND
 
 
-def set_backend(backend: ArrayBackend) -> None:
-    """Install ``backend`` as the process-wide default (all threads)."""
+def set_backend(backend: Union[str, ArrayBackend], **options) -> None:
+    """Install a backend as the process-wide default (all threads).
+
+    Accepts an :class:`ArrayBackend` instance or a registered name (with
+    factory ``options``): ``set_backend("threaded", num_threads=8)``.
+    """
     global _PROCESS_DEFAULT_BACKEND
-    if not isinstance(backend, ArrayBackend):
-        raise TypeError(
-            f"expected an ArrayBackend, got {type(backend).__name__}")
-    _PROCESS_DEFAULT_BACKEND = backend
+    _PROCESS_DEFAULT_BACKEND = _coerce_backend(backend, **options)
 
 
 @contextlib.contextmanager
-def use_backend(backend: ArrayBackend) -> Iterator[ArrayBackend]:
-    """Scoped backend override: ``with use_backend(MyBackend()): ...``."""
-    if not isinstance(backend, ArrayBackend):
-        raise TypeError(
-            f"expected an ArrayBackend, got {type(backend).__name__}")
-    _BACKEND_STATE.stack.append(backend)
+def use_backend(backend: Union[str, ArrayBackend],
+                **options) -> Iterator[ArrayBackend]:
+    """Scoped backend override: ``with use_backend("threaded"): ...``.
+
+    Accepts an instance or a registered name, like :func:`set_backend`.
+    """
+    resolved = _coerce_backend(backend, **options)
+    _BACKEND_STATE.stack.append(resolved)
     try:
-        yield backend
+        yield resolved
     finally:
         _BACKEND_STATE.stack.pop()

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .backend import as_index_array as _as_index_array
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -157,7 +158,7 @@ def scatter_add(source: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
     of each edge, the result is each node's aggregated message.
     """
     source = as_tensor(source)
-    index = np.asarray(index, dtype=np.int64)
+    index = _as_index_array(index)
     if index.ndim != 1 or index.shape[0] != source.shape[0]:
         raise ValueError("index must be 1-D with one entry per source row")
     out_shape = (num_rows,) + source.data.shape[1:]
@@ -181,7 +182,7 @@ def segment_sum(values: Tensor, segments: np.ndarray, num_segments: int) -> Tens
 def segment_mean(values: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
     """Per-segment mean; empty segments yield zeros."""
     values = as_tensor(values)
-    segments = np.asarray(segments, dtype=np.int64)
+    segments = _as_index_array(segments)
     counts = np.bincount(segments, minlength=num_segments).astype(values.data.dtype)
     counts = np.maximum(counts, 1.0)
     summed = segment_sum(values, segments, num_segments)
@@ -200,7 +201,7 @@ def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> 
     convention.
     """
     scores = as_tensor(scores)
-    segments = np.asarray(segments, dtype=np.int64)
+    segments = _as_index_array(segments)
     if scores.ndim != 1:
         raise ValueError("segment_softmax expects 1-D scores (one per edge)")
     # Per-segment max (constant w.r.t. autograd).

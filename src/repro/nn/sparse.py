@@ -10,8 +10,10 @@ The left operand must already be CSR — the cached-operator convention of
 backward operator so neither direction converts formats per call.  Both
 directions dispatch through the active
 :class:`~repro.nn.backend.ArrayBackend`.  Normalised adjacencies are built
-at an explicit dtype (defaulting to the ambient precision policy), so one
-graph can hold cached ``(op, dtype)`` operator variants side by side.
+at an explicit element dtype (defaulting to the ambient precision policy)
+and index dtype (defaulting to the ambient index policy, int32), so one
+graph can hold cached ``(op, elem_dtype, index_dtype)`` operator variants
+side by side.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from .backend import get_backend, resolve_dtype
+from .backend import get_backend, resolve_dtype, resolve_index_dtype
 from .tensor import Tensor, as_tensor
 
 __all__ = ["spmm", "normalized_adjacency", "row_normalized_adjacency"]
@@ -61,10 +63,12 @@ def spmm(matrix: sp.spmatrix, dense: Tensor,
     return Tensor._make(np.asarray(out_data), (dense,), backward)
 
 
-def _as_csr(adjacency: sp.spmatrix, dtype: Optional[object]) -> sp.csr_matrix:
-    """CSR view of ``adjacency`` at the resolved dtype, copying only when
-    the format or element width actually differs."""
-    return get_backend().to_operator(adjacency, dtype=resolve_dtype(dtype))
+def _as_csr(adjacency: sp.spmatrix, dtype: Optional[object],
+            index_dtype: Optional[object] = None) -> sp.csr_matrix:
+    """CSR view of ``adjacency`` at the resolved element and index dtypes,
+    copying only the arrays whose width actually differs."""
+    return get_backend().to_operator(adjacency, dtype=resolve_dtype(dtype),
+                                     index_dtype=resolve_index_dtype(index_dtype))
 
 
 def _with_self_loops(adj: sp.csr_matrix) -> sp.csr_matrix:
@@ -87,13 +91,17 @@ def _with_self_loops(adj: sp.csr_matrix) -> sp.csr_matrix:
 
 
 def normalized_adjacency(adjacency: sp.spmatrix, add_self_loops: bool = True,
-                         dtype: Optional[object] = None) -> sp.csr_matrix:
+                         dtype: Optional[object] = None,
+                         index_dtype: Optional[object] = None) -> sp.csr_matrix:
     """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
 
     Isolated nodes (degree zero after optional self-loops) receive zero rows
-    rather than NaNs.  ``dtype`` defaults to the ambient precision policy.
+    rather than NaNs.  ``dtype``/``index_dtype`` default to the ambient
+    precision and index policies; the diagonal scaling runs through scipy
+    (which may widen the structure arrays), so the result is
+    re-canonicalised before it becomes a cached operator.
     """
-    adj = _as_csr(adjacency, dtype)
+    adj = _as_csr(adjacency, dtype, index_dtype)
     if add_self_loops:
         adj = _with_self_loops(adj)
     degrees = np.asarray(adj.sum(axis=1)).ravel()
@@ -101,18 +109,20 @@ def normalized_adjacency(adjacency: sp.spmatrix, add_self_loops: bool = True,
     nonzero = degrees > 0
     inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
     d_inv_sqrt = sp.diags(inv_sqrt)
-    return (d_inv_sqrt @ adj @ d_inv_sqrt).tocsr()
+    return _as_csr(d_inv_sqrt @ adj @ d_inv_sqrt, dtype, index_dtype)
 
 
 def row_normalized_adjacency(adjacency: sp.spmatrix,
-                             dtype: Optional[object] = None) -> sp.csr_matrix:
+                             dtype: Optional[object] = None,
+                             index_dtype: Optional[object] = None) -> sp.csr_matrix:
     """Row-stochastic ``D^{-1} A`` — the GraphSAGE mean aggregator operator.
 
-    ``dtype`` defaults to the ambient precision policy.
+    ``dtype``/``index_dtype`` default to the ambient precision and index
+    policies.
     """
-    adj = _as_csr(adjacency, dtype)
+    adj = _as_csr(adjacency, dtype, index_dtype)
     degrees = np.asarray(adj.sum(axis=1)).ravel()
     inv = np.zeros_like(degrees)
     nonzero = degrees > 0
     inv[nonzero] = 1.0 / degrees[nonzero]
-    return (sp.diags(inv) @ adj).tocsr()
+    return _as_csr(sp.diags(inv) @ adj, dtype, index_dtype)

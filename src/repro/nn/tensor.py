@@ -34,7 +34,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .backend import get_backend, resolve_dtype
+from .backend import as_index_array, get_backend, resolve_dtype
 
 __all__ = [
     "Tensor",
@@ -580,7 +580,7 @@ class Tensor:
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows along axis 0 (repeated indices are supported)."""
-        indices = np.asarray(indices, dtype=np.int64)
+        indices = as_index_array(indices)
         out_data = self.data[indices]
 
         def backward(grad: np.ndarray) -> None:

@@ -57,6 +57,46 @@ class TestCommands:
         assert "loaded" in captured.out
         assert "deprecated" not in captured.err
 
+    def test_backend_flags_roundtrip(self, tmp_path, capsys):
+        """--backend/--index-dtype thread the run; the bundle records them."""
+        from repro.api import ModelBundle
+
+        model_path = str(tmp_path / "model.npz")
+        code = main(["train", "--dataset", "cora", "--out", model_path,
+                     "--epochs", "1", "--tasks", "2",
+                     "--subgraph-nodes", "40", "--hidden-dim", "8",
+                     "--layers", "1", "--conv", "gcn", "--scale", "0.2",
+                     "--backend", "threaded", "--num-threads", "2",
+                     "--index-dtype", "int32"])
+        assert code == 0
+        capsys.readouterr()
+        bundle = ModelBundle.load(model_path)
+        assert bundle.backend == "threaded"
+        assert bundle.index_dtype == "int32"
+
+        code = main(["query", "--dataset", "cora", "--model", model_path,
+                     "--node", "0", "--subgraph-nodes", "40",
+                     "--scale", "0.2", "--backend", "threaded"])
+        assert code == 0
+        assert "backend threaded" in capsys.readouterr().out
+
+    def test_num_threads_requires_threaded_backend(self, tmp_path, capsys):
+        code = main(["query", "--dataset", "cora", "--model", "x.npz",
+                     "--node", "0", "--num-threads", "4"])
+        assert code == 2
+        assert "--backend threaded" in capsys.readouterr().err
+
+    def test_omitted_backend_flags_keep_ambient_policies(self):
+        """Flags default to None so REPRO_BACKEND/REPRO_INDEX_DTYPE (the
+        process defaults) stay effective on the CLI entry points."""
+        from repro.cli import _policy_scopes
+
+        args = build_parser().parse_args(
+            ["query", "--model", "x.npz", "--node", "0"])
+        assert args.backend is None
+        assert args.index_dtype is None
+        assert _policy_scopes(args) == []
+
     def test_query_architecture_flags_deprecated(self, tmp_path, capsys):
         """Old scripts passing architecture flags still work, with a warning."""
         model_path = str(tmp_path / "model.npz")

@@ -1,0 +1,42 @@
+"""Doctest coverage for the public ``repro.api`` / ``repro.nn.backend``
+surfaces.
+
+The docstring examples on the registry, bundle, engine, precision-policy
+and backend classes are part of the documented contract (``docs/`` and
+the README point at them), so they run as tests: every example must be
+runnable, and each module must actually carry examples — a refactor that
+silently drops them fails here.  CI additionally runs
+``pytest --doctest-modules`` over the same modules, which exercises the
+examples under the matrix policies.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.api.bundle
+import repro.api.engine
+import repro.api.registry
+import repro.nn.backend
+
+#: (module, minimum number of examples) — the floor guards against
+#: docstring rot, not just failures.
+DOCTEST_MODULES = [
+    (repro.api.bundle, 5),
+    (repro.api.engine, 5),
+    (repro.api.registry, 5),
+    (repro.nn.backend, 10),
+]
+
+
+@pytest.mark.parametrize("module,min_examples", DOCTEST_MODULES,
+                         ids=lambda value: getattr(value, "__name__", value))
+def test_module_doctests(module, min_examples):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}")
+    assert results.attempted >= min_examples, (
+        f"{module.__name__} carries only {results.attempted} doctest "
+        f"example(s); the documented surface expects >= {min_examples}")

@@ -398,9 +398,14 @@ class TestEngineServingDtype:
 
 
 class TestArrayBackend:
-    def test_default_backend_is_numpy(self):
+    def test_default_backend_honors_env(self):
+        # The process default comes from REPRO_BACKEND (numpy unless the
+        # CI matrix overrides it); every registered backend is a
+        # NumpyBackend refinement, so the kernel surface is always there.
+        import os
+
         assert isinstance(get_backend(), NumpyBackend)
-        assert get_backend().name == "numpy"
+        assert get_backend().name == os.environ.get("REPRO_BACKEND", "numpy")
 
     def test_backend_creation_helpers_follow_policy(self):
         xp = get_backend()
@@ -413,9 +418,18 @@ class TestArrayBackend:
     def test_to_operator_avoids_needless_copies(self):
         xp = get_backend()
         csr = sp.csr_matrix(np.eye(3))
-        assert xp.to_operator(csr, dtype="float64") is csr
+        already_canonical = xp.to_operator(csr, dtype="float64",
+                                           index_dtype=csr.indices.dtype)
+        assert already_canonical is csr
         converted = xp.to_operator(csr, dtype="float32")
         assert converted.dtype == np.float32
+        # Recasting only the structure arrays shares the data array.
+        other_width = (np.int64 if csr.indices.dtype == np.int32
+                       else np.int32)
+        recast = xp.to_operator(csr, dtype="float64",
+                                index_dtype=other_width)
+        assert recast.indices.dtype == other_width
+        assert recast.data is csr.data
 
     def test_use_backend_routes_kernels(self):
         class CountingBackend(NumpyBackend):
@@ -443,8 +457,19 @@ class TestArrayBackend:
         assert isinstance(get_backend(), NumpyBackend)
 
     def test_set_backend_type_checked(self):
+        # Non-backend, non-name objects are rejected; unknown names too.
         with pytest.raises(TypeError):
-            set_backend("numpy")
+            set_backend(42)
+        with pytest.raises(ValueError):
+            set_backend("no-such-backend")
+        # Registered names resolve (scoped, so no process state leaks).
+        from repro.nn.backend import use_backend
+
+        with use_backend("numpy"):
+            assert isinstance(get_backend(), NumpyBackend)
+        # Factory options are only meaningful together with a name.
+        with pytest.raises(TypeError):
+            set_backend(NumpyBackend(), num_threads=2)
 
     def test_backend_rng_seeded(self):
         xp = get_backend()
