@@ -58,11 +58,13 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
                         choices=list(available_backends()),
                         help="array backend executing the sparse/dense "
                              "kernels ('threaded' partitions spmm row "
-                             "ranges across a thread pool; outputs are "
-                             "bitwise identical to 'numpy'; default: "
-                             "the REPRO_BACKEND policy, i.e. numpy)")
+                             "ranges across a thread pool; 'numba' "
+                             "JIT-compiles the spmm and GAT edge-path "
+                             "loops and needs the optional numba wheel — "
+                             "see `repro backends`; default: the "
+                             "REPRO_BACKEND policy, i.e. numpy)")
     parser.add_argument("--num-threads", type=int, default=None,
-                        help="worker count for --backend threaded "
+                        help="worker count for --backend threaded/numba "
                              "(default: all cores)")
     parser.add_argument("--index-dtype", default=None,
                         choices=["int32", "int64"],
@@ -81,8 +83,10 @@ def _policy_scopes(args: argparse.Namespace) -> List:
     combinations (``--num-threads`` without ``--backend threaded``).
     """
     scopes: List = []
-    if args.num_threads is not None and args.backend != "threaded":
-        raise ValueError("--num-threads only applies to --backend threaded")
+    if args.num_threads is not None and args.backend not in ("threaded",
+                                                             "numba"):
+        raise ValueError(
+            "--num-threads only applies to --backend threaded or numba")
     if args.backend is not None:
         options = {}
         if args.num_threads is not None:
@@ -101,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the registered datasets")
     sub.add_parser("methods", help="list the registered methods")
+    sub.add_parser("backends",
+                   help="list the array backends and whether each is "
+                        "installed (optional backends like numba report "
+                        "their install hint instead of erroring)")
 
     run = sub.add_parser("run", help="run an effectiveness experiment")
     run.add_argument("--scenario", default="sgsc",
@@ -200,6 +208,26 @@ def _cmd_methods() -> int:
     return 0
 
 
+def _cmd_backends() -> int:
+    """List backends with availability, probed without try/except.
+
+    Exit code 0 either way — CI uses this to *report*, and probes a
+    specific backend with ``available_backends()[name]`` directly.
+    """
+    rows = []
+    for name, installed in available_backends().items():
+        # The registry key is not necessarily a pip package name, so the
+        # precise install hint comes from make_backend's ImportError.
+        status = ("installed" if installed
+                  else "missing (optional dependency; selecting it "
+                       "prints the install hint)")
+        rows.append([name, status])
+    print(format_generic_table(
+        ["Backend", "Status"], rows,
+        title="Registered array backends", float_format="{}"))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     profile = PROFILES[args.profile]
     shots = tuple(int(s) for s in args.shots.split(","))
@@ -227,7 +255,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     try:
         scopes = _policy_scopes(args)
-    except ValueError as exc:
+    except (ValueError, ImportError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     with contextlib.ExitStack() as stack:
@@ -297,7 +325,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     _warn_deprecated_query_flags(args)
     try:
         scopes = _policy_scopes(args)
-    except ValueError as exc:
+    except (ValueError, ImportError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     with contextlib.ExitStack() as stack:
@@ -366,6 +394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
         return _cmd_datasets()
+    if args.command == "backends":
+        return _cmd_backends()
     if args.command == "methods":
         return _cmd_methods()
     if args.command == "run":

@@ -28,15 +28,21 @@ numerical choices that used to be hardwired all over the stack:
 
 * **Which array library executes the dense/sparse kernels.**  The
   :class:`ArrayBackend` protocol gathers the operations the autograd
-  engine actually dispatches — dense matmul, sparse-dense matmul, array
+  engine actually dispatches — dense matmul, sparse-dense matmul, the
+  gather / scatter-add / segment-softmax edge ops of the GAT path, array
   creation, RNG construction — behind one object.  The default
   :class:`NumpyBackend` runs on NumPy + SciPy; :class:`ThreadedBackend`
   partitions spmm row ranges across a reusable thread pool (SciPy's CSR
   kernels release the GIL, so the partitions genuinely run in parallel
-  on multi-core machines).  Backends are installed with
-  :func:`set_backend` / ``with use_backend(...)`` — both accept a
-  registered name (``"numpy"``, ``"threaded"``) or an instance — and the
-  process default comes from the ``REPRO_BACKEND`` environment variable.
+  on multi-core machines); :class:`NumbaBackend` JIT-compiles the spmm
+  and edge-path hot loops (:mod:`repro.nn.kernels_numba`, imported
+  lazily so the default install never needs the numba wheel).  Backends
+  are installed with :func:`set_backend` / ``with use_backend(...)`` —
+  both accept a registered name (``"numpy"``, ``"threaded"``,
+  ``"numba"``) or an instance — and the process default comes from the
+  ``REPRO_BACKEND`` environment variable.  :func:`available_backends`
+  maps every registered name to whether its dependencies are installed,
+  so callers can probe optional backends without try/except.
 
 Cache-key convention
 --------------------
@@ -90,7 +96,9 @@ __all__ = [
     "ArrayBackend",
     "NumpyBackend",
     "ThreadedBackend",
+    "NumbaBackend",
     "available_backends",
+    "backend_names",
     "register_backend",
     "make_backend",
     "get_backend",
@@ -397,6 +405,28 @@ class ArrayBackend:
         when necessary."""
         raise NotImplementedError
 
+    # -- edge-path kernels (gather / scatter / segment softmax) ---------
+    def gather_rows(self, source: np.ndarray,
+                    indices: np.ndarray) -> np.ndarray:
+        """``source[indices]`` — row gather along axis 0 (exact)."""
+        raise NotImplementedError
+
+    def scatter_add_rows(self, source: np.ndarray, indices: np.ndarray,
+                         num_rows: int) -> np.ndarray:
+        """Rows of ``source`` summed into ``num_rows`` output rows:
+        ``out[indices[e]] += source[e]``, accumulating **in edge order**
+        (``np.add.at``'s order) so backends agree bitwise."""
+        raise NotImplementedError
+
+    def segment_softmax(self, scores: np.ndarray, segments: np.ndarray,
+                        num_segments: int) -> np.ndarray:
+        """Stable softmax of 1-D ``scores`` normalised within each
+        segment: per-segment max subtraction, exp, per-segment sum (in
+        edge order) and a ``1e-16`` denominator guard at the scores'
+        dtype.  Backends may fuse the passes; only the transcendental may
+        differ (by ulps), never the accumulation order."""
+        raise NotImplementedError
+
     # -- randomness -----------------------------------------------------
     def rng(self, seed: int) -> np.random.Generator:
         """A fresh seeded generator for parameter init / sampling."""
@@ -435,6 +465,26 @@ class NumpyBackend(ArrayBackend):
             operator = operator.astype(target)
         return _canonicalise_operator_indices(
             operator, resolve_index_dtype(index_dtype))
+
+    def gather_rows(self, source: np.ndarray,
+                    indices: np.ndarray) -> np.ndarray:
+        return source[indices]
+
+    def scatter_add_rows(self, source: np.ndarray, indices: np.ndarray,
+                         num_rows: int) -> np.ndarray:
+        out = np.zeros((num_rows,) + source.shape[1:], dtype=source.dtype)
+        np.add.at(out, indices, source)
+        return out
+
+    def segment_softmax(self, scores: np.ndarray, segments: np.ndarray,
+                        num_segments: int) -> np.ndarray:
+        seg_max = np.full(num_segments, -np.inf, dtype=scores.dtype)
+        np.maximum.at(seg_max, segments, scores)
+        seg_max[~np.isfinite(seg_max)] = 0.0
+        exp = np.exp(scores - seg_max[segments])
+        denom = np.zeros(num_segments, dtype=scores.dtype)
+        np.add.at(denom, segments, exp)
+        return exp / (denom + scores.dtype.type(1e-16))[segments]
 
     def rng(self, seed: int) -> np.random.Generator:
         return np.random.default_rng(seed)
@@ -609,26 +659,269 @@ class ThreadedBackend(NumpyBackend):
         return out
 
 
+def _import_numba_kernels():
+    """Import the JIT kernel module, or fail with an install hint.
+
+    This is the single gate that keeps numba optional: nothing on the
+    default path imports :mod:`repro.nn.kernels_numba`, so a stock
+    install never pays the dependency — or the import cost — and only an
+    explicit ``make_backend("numba")`` can hit this error.
+    """
+    try:
+        from . import kernels_numba
+    except ImportError as exc:
+        raise ImportError(
+            "backend 'numba' requires the optional numba dependency which "
+            "is not installed; run `pip install numba` to enable the JIT "
+            "kernels (the default 'numpy' and 'threaded' backends need no "
+            "extra packages)") from exc
+    return kernels_numba
+
+
+def _numba_installed() -> bool:
+    """Whether the numba wheel is importable, without importing it.
+
+    ``sys.modules`` is consulted first so tests can hide the module by
+    stubbing the entry to ``None`` (the standard import-blocking trick),
+    and so an already-imported numba is reported without a filesystem
+    probe.
+    """
+    import importlib.util
+    import sys
+    if "numba" in sys.modules:
+        return sys.modules["numba"] is not None
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        return False
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT-compiled kernels for the spmm + GAT edge-path hot loops.
+
+    Construction imports :mod:`repro.nn.kernels_numba` (and thereby
+    numba) lazily; when the wheel is absent it raises ``ImportError``
+    with an install hint, keeping the default install dependency-free.
+
+    Kernel contracts (see the kernel module for the reasoning):
+
+    * ``spmm`` — CSR rows accumulated in SciPy's order, parallel over
+      rows, or over collation blocks when the operator carries the
+      ``block_offsets`` annotation of a :func:`~repro.graph.batch.stack_csr`
+      batch: **bitwise identical** to :class:`NumpyBackend`.
+    * ``gather_rows`` / ``scatter_add_rows`` — exact / edge-order
+      accumulation: **bitwise identical**.
+    * ``segment_softmax`` — fused max/exp/normalise; numba's ``exp``
+      may differ from NumPy's by ulps (≤1e-12 relative at float64).
+
+    Anything a kernel cannot take verbatim (unsupported dtype, ndim,
+    non-contiguous input) falls back to the inherited NumPy reference.
+    Kernels specialise per ``(element dtype, index dtype)`` signature,
+    so both process policies are honoured with no cross-casting.
+
+    Parameters
+    ----------
+    num_threads:
+        Optional thread count for the parallel kernels.  Numba's
+        threading layer is process-global, so this clamps and installs
+        the count for every numba kernel in the process.
+    """
+
+    name = "numba"
+
+    def __init__(self, num_threads: Optional[int] = None):
+        self._kernels = _import_numba_kernels()
+        if num_threads is None:
+            # Honour the same env policy as ThreadedBackend so one
+            # REPRO_NUM_THREADS setting sizes whichever parallel
+            # backend is selected.
+            env = os.environ.get("REPRO_NUM_THREADS", "")
+            if env:
+                num_threads = int(env)
+        if num_threads is not None:
+            if num_threads < 1:
+                raise ValueError(
+                    f"num_threads must be >= 1, got {num_threads}")
+            self.num_threads = self._kernels.set_num_threads(num_threads)
+        else:
+            # Report what prange kernels actually run with: the count is
+            # process-global, so an earlier set_num_threads (from any
+            # instance) may sit below the launch ceiling.
+            self.num_threads = self._kernels.current_threads()
+
+    def warmup(self, dtype: Optional[DTypeLike] = None,
+               index_dtype: Optional[DTypeLike] = None) -> None:
+        """Eagerly compile every kernel for one signature pair (defaults:
+        the ambient element and index policies)."""
+        self._kernels.warmup(resolve_dtype(dtype),
+                             resolve_index_dtype(index_dtype))
+
+    @staticmethod
+    def _supported(*arrays: np.ndarray) -> bool:
+        for array in arrays:
+            if array.dtype.name not in SUPPORTED_DTYPES:
+                return False
+            if not array.flags.c_contiguous:
+                return False
+        return True
+
+    @staticmethod
+    def _index_supported(indices: np.ndarray) -> bool:
+        return (indices.dtype.name in SUPPORTED_INDEX_DTYPES
+                and indices.flags.c_contiguous)
+
+    @staticmethod
+    def _indices_in_range(indices: np.ndarray, limit: int) -> bool:
+        """Whether every index lies in ``[0, limit)``.
+
+        The JIT kernels run without bounds checks, so anything outside
+        that range must take the NumPy reference path instead — which
+        either raises the proper ``IndexError`` or applies NumPy's
+        negative-index semantics, exactly as the other backends do.
+        The cost is two simple O(E) reductions (min, then max) per call;
+        the kernels they protect make at least one O(E) pass doing real
+        work per element (exp, multiply-add over feature width), so the
+        guard stays a minor fraction of each dispatch rather than
+        warranting an identity-keyed validation cache.
+        """
+        if indices.size == 0:
+            return True
+        return bool(indices.min() >= 0) and bool(indices.max() < limit)
+
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        if (getattr(matrix, "format", None) != "csr"
+                or matrix.dtype != dense.dtype
+                or matrix.indices.dtype != matrix.indptr.dtype
+                or not self._index_supported(matrix.indices)
+                or dense.ndim not in (1, 2)
+                or matrix.shape[1] != dense.shape[0]
+                or not self._supported(matrix.data, dense)):
+            # Upcasts, exotic layouts and shape mismatches go through
+            # scipy's own dispatch (which also raises the proper error
+            # for bad shapes — the raw kernels would read out of bounds).
+            return matrix @ dense
+        out = np.zeros((matrix.shape[0],) + dense.shape[1:],
+                       dtype=dense.dtype)
+        if dense.ndim == 1:
+            self._kernels.spmm_vec(matrix.indptr, matrix.indices,
+                                   matrix.data, dense, out)
+            return out
+        blocks = getattr(matrix, "block_offsets", None)
+        # The block kernel iterates exactly [blocks[0], blocks[-1]), so
+        # only a full-span annotation (as stack_csr produces) may select
+        # it; anything else would silently zero the uncovered rows.
+        if (blocks is not None and len(blocks) > 2
+                and int(blocks[0]) == 0
+                and int(blocks[-1]) == matrix.shape[0]):
+            self._kernels.spmm_blocks(
+                matrix.indptr, matrix.indices, matrix.data, dense,
+                np.asarray(blocks, dtype=np.int64), out)
+        else:
+            self._kernels.spmm_rows(matrix.indptr, matrix.indices,
+                                    matrix.data, dense, out)
+        return out
+
+    def gather_rows(self, source: np.ndarray,
+                    indices: np.ndarray) -> np.ndarray:
+        if (source.ndim not in (1, 2) or indices.ndim != 1
+                or not self._supported(source)
+                or not self._index_supported(indices)
+                or not self._indices_in_range(indices, source.shape[0])):
+            return super().gather_rows(source, indices)
+        out = np.empty((indices.shape[0],) + source.shape[1:],
+                       dtype=source.dtype)
+        if source.ndim == 1:
+            self._kernels.gather_rows_1d(source, indices, out)
+        else:
+            self._kernels.gather_rows_2d(source, indices, out)
+        return out
+
+    def scatter_add_rows(self, source: np.ndarray, indices: np.ndarray,
+                         num_rows: int) -> np.ndarray:
+        if (source.ndim not in (1, 2) or indices.ndim != 1
+                or indices.shape[0] != source.shape[0]
+                or not self._supported(source)
+                or not self._index_supported(indices)
+                or not self._indices_in_range(indices, num_rows)):
+            # The length check matters beyond dispatch hygiene: the JIT
+            # kernel iterates the index array unbounds-checked, so a
+            # mismatch must take np.add.at's error path instead.
+            return super().scatter_add_rows(source, indices, num_rows)
+        out = np.zeros((num_rows,) + source.shape[1:], dtype=source.dtype)
+        if source.ndim == 1:
+            self._kernels.scatter_add_1d(source, indices, out)
+        else:
+            self._kernels.scatter_add_2d(source, indices, out)
+        return out
+
+    def segment_softmax(self, scores: np.ndarray, segments: np.ndarray,
+                        num_segments: int) -> np.ndarray:
+        if (scores.ndim != 1 or segments.ndim != 1
+                or segments.shape[0] != scores.shape[0]
+                or not self._supported(scores)
+                or not self._index_supported(segments)
+                or not self._indices_in_range(segments, num_segments)):
+            # Length mismatches take the numpy path (np.maximum.at's
+            # ValueError) — the JIT kernel reads segments unchecked.
+            return super().segment_softmax(scores, segments, num_segments)
+        out = np.empty_like(scores)
+        self._kernels.segment_softmax(
+            scores, segments,
+            np.full(num_segments, -np.inf, dtype=scores.dtype),
+            np.zeros(num_segments, dtype=scores.dtype),
+            scores.dtype.type(1e-16), out)
+        return out
+
+
 #: Registered backend factories, keyed by name.
 _BACKEND_FACTORIES: Dict[str, Callable[..., ArrayBackend]] = {
     "numpy": NumpyBackend,
     "threaded": ThreadedBackend,
+    "numba": NumbaBackend,
+}
+
+#: Optional per-backend installation probes; names without one are
+#: always installed (no optional dependencies).
+_BACKEND_PROBES: Dict[str, Callable[[], bool]] = {
+    "numba": _numba_installed,
 }
 
 
-def available_backends() -> Tuple[str, ...]:
-    """The registered backend names, sorted.
+def available_backends() -> Dict[str, bool]:
+    """The registered backends mapped to whether they are installed.
 
-    >>> available_backends()
-    ('numpy', 'threaded')
+    The mapping iterates in sorted-name order, so the pre-existing
+    names-only idioms (``list(...)``, ``"numpy" in ...``, iteration)
+    keep working unchanged; :func:`backend_names` is the explicit
+    names-only view.  A ``False`` value means the backend is registered
+    but its optional dependency is missing — :func:`make_backend` on it
+    raises ``ImportError`` with the install hint.
+
+    >>> backend_names()
+    ('numba', 'numpy', 'threaded')
+    >>> available_backends()["numpy"]
+    True
     """
+    return {name: _BACKEND_PROBES.get(name, _always_installed)()
+            for name in sorted(_BACKEND_FACTORIES)}
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The registered backend names, sorted (installed or not)."""
     return tuple(sorted(_BACKEND_FACTORIES))
 
 
-def register_backend(name: str,
-                     factory: Callable[..., ArrayBackend]) -> None:
+def _always_installed() -> bool:
+    return True
+
+
+def register_backend(name: str, factory: Callable[..., ArrayBackend],
+                     installed: Optional[Callable[[], bool]] = None) -> None:
     """Register a backend factory under ``name`` for :func:`make_backend`.
 
+    ``installed`` is an optional zero-argument probe reporting whether
+    the backend's dependencies are importable (for
+    :func:`available_backends`); omit it for dependency-free backends.
     Re-registering a name is an error — it almost always indicates an
     accidental double import.
     """
@@ -636,13 +929,18 @@ def register_backend(name: str,
     if key in _BACKEND_FACTORIES:
         raise ValueError(f"backend {name!r} is already registered")
     _BACKEND_FACTORIES[key] = factory
+    if installed is not None:
+        _BACKEND_PROBES[key] = installed
 
 
 def make_backend(name: str, **options) -> ArrayBackend:
     """Instantiate a registered backend by name.
 
     ``options`` are forwarded to the factory (e.g.
-    ``make_backend("threaded", num_threads=4)``).
+    ``make_backend("threaded", num_threads=4)``).  Unknown names raise
+    ``ValueError``; a registered backend whose optional dependency is
+    missing raises ``ImportError`` with the install hint (probe first
+    with :func:`available_backends` to avoid the try/except).
 
     >>> make_backend("numpy").name
     'numpy'
@@ -652,7 +950,7 @@ def make_backend(name: str, **options) -> ArrayBackend:
     factory = _BACKEND_FACTORIES.get(name.strip().lower())
     if factory is None:
         raise ValueError(
-            f"unknown backend {name!r}; choose from {available_backends()}")
+            f"unknown backend {name!r}; choose from {backend_names()}")
     return factory(**options)
 
 
@@ -679,6 +977,15 @@ def _backend_from_env() -> ArrayBackend:
     except ValueError as exc:
         raise ValueError(
             f"invalid REPRO_BACKEND environment variable: {exc}") from exc
+    except ImportError as exc:
+        # Fail fast rather than silently degrade to numpy: an explicit
+        # REPRO_BACKEND request that cannot be honoured should never let
+        # a serving fleet lose its JIT without noticing.  The message
+        # names both ways out.
+        raise ImportError(
+            f"REPRO_BACKEND={name} needs an optional dependency ({exc}); "
+            f"install it, or unset REPRO_BACKEND to use the default "
+            f"numpy backend") from exc
 
 
 #: Process-wide default backend (shared across threads, like the

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .backend import as_index_array as _as_index_array
+from .backend import get_backend
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -155,18 +156,20 @@ def scatter_add(source: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
     ``out[index[i]] += source[i]``.  This is the dual of
     :func:`gather_rows` and the workhorse of edge-list message passing: with
     ``source`` holding per-edge messages and ``index`` the destination node
-    of each edge, the result is each node's aggregated message.
+    of each edge, the result is each node's aggregated message.  Forward
+    and backward dispatch through the active
+    :class:`~repro.nn.backend.ArrayBackend` (every backend accumulates in
+    edge order, so outputs never depend on the backend choice).
     """
     source = as_tensor(source)
     index = _as_index_array(index)
     if index.ndim != 1 or index.shape[0] != source.shape[0]:
         raise ValueError("index must be 1-D with one entry per source row")
-    out_shape = (num_rows,) + source.data.shape[1:]
-    out_data = np.zeros(out_shape, dtype=source.data.dtype)
-    np.add.at(out_data, index, source.data)
+    xp = get_backend()
+    out_data = xp.scatter_add_rows(source.data, index, num_rows)
 
     def backward(grad: np.ndarray) -> None:
-        Tensor._accumulate(source, grad[index])
+        Tensor._accumulate(source, xp.gather_rows(grad, index))
 
     return Tensor._make(out_data, (source,), backward)
 
@@ -199,20 +202,28 @@ def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> 
     coefficients sum to one over each node's incoming edges.  The per-segment
     max subtraction is treated as a constant, the standard stable-softmax
     convention.
+
+    This is a backend primitive: the forward runs the active
+    :class:`~repro.nn.backend.ArrayBackend`'s (possibly fused) kernel and
+    the backward applies the closed-form softmax VJP within each segment,
+    ``α · (g − Σ_seg α·g)``, which is exact for the forward as computed
+    (including the ``1e-16`` denominator guard, since ``α`` already
+    carries it).
     """
     scores = as_tensor(scores)
     segments = _as_index_array(segments)
     if scores.ndim != 1:
         raise ValueError("segment_softmax expects 1-D scores (one per edge)")
-    # Per-segment max (constant w.r.t. autograd).
-    seg_max = np.full(num_segments, -np.inf, dtype=scores.data.dtype)
-    np.maximum.at(seg_max, segments, scores.data)
-    seg_max[~np.isfinite(seg_max)] = 0.0
-    shifted = scores - Tensor(seg_max[segments])
-    exp = shifted.exp()
-    denom = segment_sum(exp, segments, num_segments)
-    denom_safe = denom + 1e-16
-    return exp / denom_safe.take_rows(segments)
+    xp = get_backend()
+    out_data = xp.segment_softmax(scores.data, segments, num_segments)
+
+    def backward(grad: np.ndarray) -> None:
+        weighted = out_data * grad
+        seg_dot = xp.scatter_add_rows(weighted, segments, num_segments)
+        Tensor._accumulate(
+            scores, out_data * (grad - xp.gather_rows(seg_dot, segments)))
+
+    return Tensor._make(out_data, (scores,), backward)
 
 
 def pairwise_inner_product(queries: Tensor, keys: Tensor) -> Tensor:

@@ -579,14 +579,19 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
-        """Gather rows along axis 0 (repeated indices are supported)."""
+        """Gather rows along axis 0 (repeated indices are supported).
+
+        Forward (gather) and backward (scatter-add of the upstream
+        gradient) dispatch through the active
+        :class:`~repro.nn.backend.ArrayBackend`.
+        """
         indices = as_index_array(indices)
-        out_data = self.data[indices]
+        xp = get_backend()
+        out_data = xp.gather_rows(self.data, indices)
 
         def backward(grad: np.ndarray) -> None:
-            full_grad = np.zeros_like(self.data)
-            np.add.at(full_grad, indices, grad)
-            Tensor._accumulate(self, full_grad)
+            Tensor._accumulate(
+                self, xp.scatter_add_rows(grad, indices, self.data.shape[0]))
 
         return Tensor._make(out_data, (self,), backward)
 
