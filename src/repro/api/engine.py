@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -49,6 +50,13 @@ from .bundle import ModelBundle
 __all__ = ["CommunitySearchEngine", "EngineStats"]
 
 
+def _json_native(value: Any) -> Any:
+    """Strip numpy scalar wrappers so a stats dict survives ``json.dumps``."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
 @dataclasses.dataclass
 class EngineStats:
     """Serving counters and timers of one engine.
@@ -57,16 +65,28 @@ class EngineStats:
     engine's kernels dispatch through — :meth:`CommunitySearchEngine.stats`
     fills it from the active backend at snapshot time, so a scoped
     ``use_backend(...)`` override shows up in the snapshot it applies to.
+
+    ``decode_calls`` counts decoder *passes* (a coalesced
+    :meth:`CommunitySearchEngine.predict_proba_many` call is one pass
+    however many request batches it answers), while ``batches_served``
+    counts logical request batches and ``queries_served`` individual
+    query nodes.  ``first_query_at``/``last_query_at`` are wall-clock
+    Unix timestamps of the first/latest decode — the
+    :class:`~repro.serve.ServeStats` layer derives observation windows
+    from them independently of any per-call counter.
     """
 
     queries_served: int = 0
     batches_served: int = 0
+    decode_calls: int = 0
     contexts_encoded: int = 0
     context_cache_hits: int = 0
     context_cache_misses: int = 0
     contexts_evicted: int = 0
     context_seconds: float = 0.0
     decode_seconds: float = 0.0
+    first_query_at: Optional[float] = None
+    last_query_at: Optional[float] = None
     backend: str = ""
 
     @property
@@ -76,9 +96,19 @@ class EngineStats:
             return 0.0
         return self.queries_served / self.decode_seconds
 
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock span between the first and latest decode."""
+        if self.first_query_at is None or self.last_query_at is None:
+            return 0.0
+        return self.last_query_at - self.first_query_at
+
     def as_dict(self) -> Dict[str, Any]:
-        data = dataclasses.asdict(self)
-        data["queries_per_second"] = self.queries_per_second
+        """A plain-python dict that round-trips through ``json.dumps``."""
+        data = {key: _json_native(value)
+                for key, value in dataclasses.asdict(self).items()}
+        data["queries_per_second"] = float(self.queries_per_second)
+        data["wall_seconds"] = float(self.wall_seconds)
         return data
 
 
@@ -93,6 +123,17 @@ class CommunitySearchEngine:
         Default membership probability threshold (overridable per query).
     max_cached_contexts:
         How many per-task context matrices to keep (LRU eviction).
+
+    **Thread safety.**  Every public method is atomic: one re-entrant
+    lock guards the context LRU, the stats counters and the decode pass
+    itself, so multi-threaded or async callers can share one engine
+    without corrupting the ``OrderedDict`` or losing counter increments
+    — calls serialise rather than interleave (the autograd tape switch
+    is process-global, so concurrent forwards would be unsafe anyway).
+    ``stats()`` returns an isolated snapshot and may be called from any
+    thread at any time; for *concurrent* request handling put the
+    :class:`~repro.serve.ServeGateway` in front of the engine instead of
+    spawning threads around it.
 
     End-to-end on a tiny synthetic graph (an untrained model — the
     mechanics, not the accuracy):
@@ -128,6 +169,7 @@ class CommunitySearchEngine:
         self._contexts: "OrderedDict[Task, Tensor]" = OrderedDict()
         self._active: Optional[Task] = None
         self._stats = EngineStats()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -176,10 +218,11 @@ class CommunitySearchEngine:
         set changed).
         """
         self._validate_task(task)
-        if refresh:
-            self._contexts.pop(task, None)
-        self._context_for(task)
-        self._active = task
+        with self._lock:
+            if refresh:
+                self._contexts.pop(task, None)
+            self._context_for(task)
+            self._active = task
         return self
 
     def attach_many(self, tasks: Sequence[Task],
@@ -200,30 +243,31 @@ class CommunitySearchEngine:
         for task in tasks:
             self._validate_task(task)
         self._check_uniform_feature_dtype(tasks)
-        seen = set()
-        missing: List[Task] = []
-        for task in tasks:
-            if id(task) in seen:
-                continue
-            seen.add(id(task))
-            if refresh:
-                self._contexts.pop(task, None)
-            if task in self._contexts:
-                self._contexts.move_to_end(task)
-                self._stats.context_cache_hits += 1
-            else:
-                missing.append(task)
-        if missing:
-            self._stats.context_cache_misses += len(missing)
-            start = time.perf_counter()
-            with no_grad():
-                contexts = self.model.context_batch(missing)
-            self._stats.context_seconds += time.perf_counter() - start
-            self._stats.contexts_encoded += len(missing)
-            for task, context in zip(missing, contexts):
-                self._contexts[task] = context
-            self._evict()
-        self._active = tasks[-1]
+        with self._lock:
+            seen = set()
+            missing: List[Task] = []
+            for task in tasks:
+                if id(task) in seen:
+                    continue
+                seen.add(id(task))
+                if refresh:
+                    self._contexts.pop(task, None)
+                if task in self._contexts:
+                    self._contexts.move_to_end(task)
+                    self._stats.context_cache_hits += 1
+                else:
+                    missing.append(task)
+            if missing:
+                self._stats.context_cache_misses += len(missing)
+                start = time.perf_counter()
+                with no_grad():
+                    contexts = self.model.context_batch(missing)
+                self._stats.context_seconds += time.perf_counter() - start
+                self._stats.contexts_encoded += len(missing)
+                for task, context in zip(missing, contexts):
+                    self._contexts[task] = context
+                self._evict()
+            self._active = tasks[-1]
         return self
 
     def _check_uniform_feature_dtype(self, tasks: Sequence[Task]) -> None:
@@ -263,11 +307,12 @@ class CommunitySearchEngine:
 
     def detach(self, task: Optional[Task] = None) -> None:
         """Drop a task's cached context (the active task by default)."""
-        task = task if task is not None else self._active
-        if task is not None:
-            self._contexts.pop(task, None)
-        if task is self._active:
-            self._active = None
+        with self._lock:
+            task = task if task is not None else self._active
+            if task is not None:
+                self._contexts.pop(task, None)
+            if task is self._active:
+                self._active = None
 
     def _require_task(self, task: Optional[Task]) -> Task:
         task = task if task is not None else self._active
@@ -319,15 +364,64 @@ class CommunitySearchEngine:
 
     def _predict_validated(self, task: Task, indices: np.ndarray) -> np.ndarray:
         """The decode path proper: ``indices`` are already bounds-checked."""
-        context = self._context_for(task)
-        start = time.perf_counter()
-        with no_grad():
-            logits = self.model.query_logits_batch(context, indices, task.graph)
-            probabilities = logits.sigmoid().data
-        self._stats.decode_seconds += time.perf_counter() - start
-        self._stats.queries_served += int(indices.size)
-        self._stats.batches_served += 1
+        with self._lock:
+            context = self._context_for(task)
+            start = time.perf_counter()
+            with no_grad():
+                logits = self.model.query_logits_batch(context, indices,
+                                                       task.graph)
+                probabilities = logits.sigmoid().data
+            self._record_decode(time.perf_counter() - start,
+                                queries=int(indices.size), batches=1)
         return probabilities
+
+    def predict_proba_many(self, node_batches: Sequence[
+                               Union[Sequence[int], np.ndarray]],
+                           task: Optional[Task] = None) -> List[np.ndarray]:
+        """Answer several independent query batches in ONE decoder pass.
+
+        The micro-batching primitive behind
+        :class:`~repro.serve.ServeGateway`: all batches share one cached
+        context fetch and one decoder context transform (the dominant
+        decode cost for the MLP/GNN decoders), while each batch keeps
+        the exact BLAS shapes of a standalone call — so element ``i`` of
+        the result is **bitwise-identical** to
+        ``predict_proba(node_batches[i], task)``, and the whole call
+        counts as a single ``decode_calls`` increment.
+
+        Returns one ``(len(batch), num_nodes)`` probability matrix per
+        input batch, in order.
+        """
+        with self._lock:
+            task = self._require_task(task)
+            validated = [validate_queries(task.graph, batch)
+                         for batch in node_batches]
+            if not validated:
+                return []
+            context = self._context_for(task)
+            start = time.perf_counter()
+            with no_grad():
+                logits = self.model.query_logits_many(context, validated,
+                                                      task.graph)
+                results = [batch_logits.sigmoid().data
+                           for batch_logits in logits]
+            self._record_decode(
+                time.perf_counter() - start,
+                queries=int(sum(batch.size for batch in validated)),
+                batches=len(validated))
+        return results
+
+    def _record_decode(self, elapsed: float, queries: int,
+                       batches: int) -> None:
+        """Fold one decoder pass into the counters (lock already held)."""
+        now = time.time()
+        self._stats.decode_seconds += elapsed
+        self._stats.queries_served += queries
+        self._stats.batches_served += batches
+        self._stats.decode_calls += 1
+        if self._stats.first_query_at is None:
+            self._stats.first_query_at = now
+        self._stats.last_query_at = now
 
     def query(self, nodes: Union[int, Sequence[int], np.ndarray],
               task: Optional[Task] = None,
@@ -359,10 +453,12 @@ class CommunitySearchEngine:
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
         """A snapshot of the serving counters (plus the active backend)."""
-        return dataclasses.replace(self._stats, backend=get_backend().name)
+        with self._lock:
+            return dataclasses.replace(self._stats, backend=get_backend().name)
 
     def reset_stats(self) -> None:
-        self._stats = EngineStats()
+        with self._lock:
+            self._stats = EngineStats()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetics
         return (f"CommunitySearchEngine({self.model.describe()}, "

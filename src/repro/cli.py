@@ -8,13 +8,20 @@ Usage (after install)::
         --methods CTC,Supervised,CGNP-IP --profile smoke --shots 1
     python -m repro.cli train --dataset cora --out model.npz
     python -m repro.cli query --dataset cora --model model.npz --node 42
+    python -m repro.cli serve --dataset cora --model model.npz \
+        --rate 200 --duration 2 --metrics-out metrics.prom
+    python -m repro.cli loadgen --dataset cora --model model.npz \
+        --rates 50,200,800 --duration 2
 
 ``run`` regenerates a table cell of the paper; ``train``/``query`` expose
 the deployment loop: ``train`` meta-trains a CGNP and writes a
 self-describing :class:`~repro.api.bundle.ModelBundle`, ``query`` serves
 it through a :class:`~repro.api.engine.CommunitySearchEngine` — the
 architecture is read from the bundle, so no ``--hidden-dim``-style flags
-are needed at query time.
+are needed at query time.  ``serve`` drives the async micro-batching
+gateway (:mod:`repro.serve`) under synthetic open-loop traffic and emits
+Prometheus-style metrics; ``loadgen`` compares the gateway against the
+pre-gateway single-query loop across arrival rates.
 """
 
 from __future__ import annotations
@@ -38,6 +45,8 @@ from .eval import (
     format_time_table,
     run_effectiveness,
 )
+from .serve import (GatewayConfig, open_loop_arrivals, request_nodes,
+                    run_baseline, run_gateway)
 from .tasks import ScenarioConfig, TaskSampler, make_scenario
 from .utils import make_rng
 
@@ -173,7 +182,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="deprecated: read from the model bundle")
     query.add_argument("--decoder", default=None, choices=["ip", "mlp", "gnn"],
                        help="deprecated: read from the model bundle")
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the async micro-batching gateway under open-loop load")
+    _add_serving_fixture_flags(serve)
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="offered load: Poisson arrivals per second")
+    serve.add_argument("--duration", type=float, default=2.0,
+                       help="length of the arrival schedule in seconds")
+    serve.add_argument("--wait-for-slot", action="store_true",
+                       help="park submitters on a queue slot instead of "
+                            "rejecting with QueueFull when the queue is full")
+    serve.add_argument("--metrics-out", default=None,
+                       help="write the final Prometheus text exposition "
+                            "here ('-' for stdout)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="compare the gateway against the single-query loop across rates")
+    _add_serving_fixture_flags(loadgen)
+    loadgen.add_argument("--rates", default="50,200,800",
+                         help="comma-separated arrival rates (requests/s)")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="length of each arrival schedule in seconds")
     return parser
+
+
+def _add_serving_fixture_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``serve`` and ``loadgen``: fixture + gateway knobs."""
+    parser.add_argument("--dataset", default="cora")
+    parser.add_argument("--model", required=True,
+                        help="saved bundle (.npz) path")
+    parser.add_argument("--subgraph-nodes", type=int, default=100)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dtype", default="float32",
+                        choices=["float32", "float64", "bundle"],
+                        help="serving precision (default float32; 'bundle' "
+                             "keeps the training precision)")
+    parser.add_argument("--nodes-per-request", type=int, default=1,
+                        help="query nodes per simulated request (1 = the "
+                             "single-query traffic the gateway exists for)")
+    parser.add_argument("--tick-ms", type=float, default=2.0,
+                        help="gateway coalescing window in milliseconds")
+    parser.add_argument("--capacity", type=int, default=1024,
+                        help="bounded request-queue capacity")
+    parser.add_argument("--max-tick-requests", type=int, default=None,
+                        help="cap on requests coalesced per tick "
+                             "(default: unlimited)")
+    _add_backend_flags(parser)
 
 
 def _cmd_datasets() -> int:
@@ -390,6 +448,128 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_fixture(args: argparse.Namespace):
+    """Engine + sampled task for ``serve``/``loadgen``; ``None`` on error.
+
+    Mirrors the ``query`` fixture: a fresh task subgraph from the
+    dataset, the model read from the self-describing bundle.  Legacy
+    weight-only checkpoints are rejected here — the serving commands
+    have no architecture flags to fall back on.
+    """
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    sampler = TaskSampler(dataset.graph, subgraph_nodes=args.subgraph_nodes,
+                          num_support=3, num_query=3)
+    task = sampler.sample_task(make_rng(args.seed))
+    in_dim = task.features().shape[1]
+    serving_dtype = None if args.dtype == "bundle" else args.dtype
+    try:
+        bundle = ModelBundle.load(args.model)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load model bundle {args.model!r}: {exc}",
+              file=sys.stderr)
+        return None
+    if bundle.is_legacy:
+        print("error: legacy weight-only checkpoint — `repro serve` needs "
+              "the architecture header; re-save with `repro train`",
+              file=sys.stderr)
+        return None
+    print(f"loaded {bundle.describe()}")
+    if bundle.in_dim != in_dim:
+        print(f"error: bundle expects {bundle.in_dim}-dim node features "
+              f"but dataset {args.dataset!r} at scale {args.scale} "
+              f"produces {in_dim}-dim features", file=sys.stderr)
+        return None
+    engine = CommunitySearchEngine.from_bundle(bundle, dtype=serving_dtype)
+    return engine, task
+
+
+def _gateway_config(args: argparse.Namespace) -> GatewayConfig:
+    return GatewayConfig(tick_seconds=args.tick_ms / 1e3,
+                         capacity=args.capacity,
+                         max_tick_requests=args.max_tick_requests)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        scopes = _policy_scopes(args)
+    except (ValueError, ImportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        for scope in scopes:
+            stack.enter_context(scope)
+        fixture = _serving_fixture(args)
+        if fixture is None:
+            return 2
+        engine, task = fixture
+        rng = make_rng(args.seed + 1)
+        arrivals = open_loop_arrivals(args.rate, args.duration, rng)
+        batches = request_nodes(task, len(arrivals),
+                                args.nodes_per_request, rng)
+        stats_out: List = []
+        result = run_gateway(engine, task, arrivals, batches,
+                             config=_gateway_config(args),
+                             wait_for_slot=args.wait_for_slot,
+                             stats_out=stats_out)
+        print(result.describe())
+        stats = stats_out[0]
+        busy = stats.ticks - stats.empty_ticks
+        print(f"gateway: {busy} busy tick(s), "
+              f"{stats.tick_batch_requests.mean:.1f} requests/tick mean, "
+              f"queue high-water {stats.queue_depth_high_water}, "
+              f"{stats.decode_calls} decoder pass(es) for "
+              f"{stats.batches_served} request(s), backend {stats.backend}")
+        if args.metrics_out == "-":
+            print(stats.metrics_text(), end="")
+        elif args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                handle.write(stats.metrics_text())
+            print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    try:
+        scopes = _policy_scopes(args)
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except (ValueError, ImportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not rates:
+        print("error: --rates must name at least one arrival rate",
+              file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        for scope in scopes:
+            stack.enter_context(scope)
+        fixture = _serving_fixture(args)
+        if fixture is None:
+            return 2
+        engine, task = fixture
+        rows = []
+        for rate in rates:
+            # Same generator seed per mode: both replay one schedule.
+            arrivals = open_loop_arrivals(
+                rate, args.duration, make_rng(args.seed + 1))
+            batches = request_nodes(task, len(arrivals),
+                                    args.nodes_per_request,
+                                    make_rng(args.seed + 2))
+            for run in (run_baseline,
+                        lambda e, t, a, b: run_gateway(
+                            e, t, a, b, config=_gateway_config(args))):
+                result = run(engine, task, arrivals, batches)
+                rows.append([result.mode, f"{rate:g}", result.completed,
+                             result.rejected, result.qps,
+                             result.latency_p50 * 1e3,
+                             result.latency_p99 * 1e3])
+        print(format_generic_table(
+            ["Mode", "Rate/s", "Done", "Rej", "QPS", "p50 ms", "p99 ms"],
+            rows, title=f"Open-loop serving comparison "
+                        f"({args.dataset}, {args.duration:g}s per run, "
+                        f"tick {args.tick_ms:g} ms)"))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -404,6 +584,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_train(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -69,7 +69,19 @@ class Decoder(Module):
         Row ``b`` equals ``forward(context, queries[b], graph)``; the
         context transform runs once for the whole batch.
         """
-        transformed = self.transform(context, graph)
+        return self.inner_products(self.transform(context, graph), queries)
+
+    def inner_products(self, transformed: Tensor,
+                       queries: np.ndarray) -> Tensor:
+        """Query rows of an *already transformed* context: ``(B, n)``.
+
+        The second half of :meth:`forward_batch`, split out so callers
+        serving several independent query batches against one context
+        (the micro-batching gateway) can pay the transform once per tick
+        while keeping each batch's BLAS shapes exactly those of a
+        standalone :meth:`forward_batch` call — which is what makes the
+        coalesced answers bitwise-identical to direct ones.
+        """
         indices = np.asarray(queries, dtype=resolve_index_dtype())
         gathered = transformed.take_rows(indices)        # (B, d)
         return gathered.matmul(transformed.transpose())  # (B, n)

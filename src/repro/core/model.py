@@ -259,6 +259,24 @@ class CGNP(Module):
         indices = np.asarray(queries, dtype=resolve_index_dtype())
         return self.decoder.forward_batch(context, indices, graph)
 
+    def query_logits_many(self, context: Tensor,
+                          query_batches: Sequence[Sequence[int]],
+                          graph: Graph) -> List[Tensor]:
+        """ρ_θ on several query batches sharing ONE context transform.
+
+        The serving gateway's coalescing primitive: the decoder's
+        query-independent context transform (the dominant decode cost for
+        the MLP/GNN decoders) runs once per call, then each batch is
+        answered by its own gather + inner product with the same BLAS
+        shapes as a standalone :meth:`query_logits_batch` call — so
+        ``query_logits_many(context, [b0, b1], graph)[i]`` is
+        *bitwise-identical* to ``query_logits_batch(context, bi, graph)``
+        while paying the transform once instead of once per batch.
+        """
+        transformed = self.decoder.transform(context, graph)
+        return [self.decoder.inner_products(transformed, batch)
+                for batch in query_batches]
+
     def forward(self, task: Task, query: int,
                 support: Optional[Sequence[QueryExample]] = None) -> Tensor:
         """Full pass: context from the support set, logits for ``query``."""

@@ -1,0 +1,193 @@
+"""Open-loop synthetic load generation: single-query loop vs gateway.
+
+*Open loop* means arrivals follow a fixed stochastic schedule (Poisson:
+exponential inter-arrival times at a target rate) that does **not** slow
+down when the server falls behind — the honest way to measure tail
+latency, because a closed loop (next request only after the previous
+answer) silently throttles the offered load exactly when the server is
+saturated, hiding the queueing delay a real deployment would see.
+
+Two drivers share one arrival schedule and one request stream:
+
+* :func:`run_baseline` — the pre-gateway serving model: a sequential
+  loop answering each request with its own
+  ``engine.predict_proba(nodes)`` call the moment the server is free.
+  Latency of request *i* is ``completion_i - arrival_i`` — queueing
+  delay included.
+* :func:`run_gateway` — the same schedule submitted concurrently to a
+  :class:`~repro.serve.gateway.ServeGateway`; the ticker coalesces
+  whatever is waiting into per-tick decoder passes.
+
+Both produce a :class:`LoadResult` with exact (not histogram-estimated)
+p50/p95/p99 over the per-request latencies, plus achieved QPS over the
+actual makespan — under overload the makespan exceeds the schedule
+length, so QPS converges to the server's saturation capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..api.engine import CommunitySearchEngine
+from ..tasks.task import Task
+from .gateway import GatewayConfig, ServeGateway
+from .queue import QueueFull
+
+__all__ = ["LoadResult", "open_loop_arrivals", "request_nodes",
+           "run_baseline", "run_gateway"]
+
+
+@dataclasses.dataclass
+class LoadResult:
+    """Latency/throughput summary of one open-loop run."""
+
+    mode: str                      # "baseline-loop" | "gateway"
+    rate: float                    # offered arrivals per second
+    offered: int                   # scheduled requests
+    completed: int
+    rejected: int
+    makespan_seconds: float        # first arrival -> last completion
+    qps: float                     # completed / makespan
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+
+    @classmethod
+    def from_latencies(cls, mode: str, rate: float, offered: int,
+                       rejected: int, makespan: float,
+                       latencies: Sequence[float]) -> "LoadResult":
+        values = np.asarray(list(latencies), dtype=np.float64)
+        if values.size == 0:
+            return cls(mode=mode, rate=rate, offered=offered, completed=0,
+                       rejected=rejected, makespan_seconds=makespan, qps=0.0,
+                       latency_mean=0.0, latency_p50=0.0, latency_p95=0.0,
+                       latency_p99=0.0, latency_max=0.0)
+        p50, p95, p99 = np.percentile(values, [50, 95, 99])
+        return cls(
+            mode=mode, rate=rate, offered=offered, completed=int(values.size),
+            rejected=rejected, makespan_seconds=float(makespan),
+            qps=float(values.size / makespan) if makespan > 0 else 0.0,
+            latency_mean=float(values.mean()), latency_p50=float(p50),
+            latency_p95=float(p95), latency_p99=float(p99),
+            latency_max=float(values.max()))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {key: (value.item() if isinstance(value, np.generic)
+                      else value)
+                for key, value in dataclasses.asdict(self).items()}
+
+    def describe(self) -> str:
+        return (f"{self.mode:<13} rate={self.rate:7.1f}/s "
+                f"completed={self.completed:5d}/{self.offered:<5d} "
+                f"qps={self.qps:7.1f} p50={self.latency_p50 * 1e3:8.2f}ms "
+                f"p99={self.latency_p99 * 1e3:8.2f}ms")
+
+
+def open_loop_arrivals(rate: float, duration: float,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Poisson arrival offsets (seconds) at ``rate``/s over ``duration``.
+
+    Deterministic given the generator state, so the baseline and the
+    gateway replay the *identical* schedule.
+    """
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    # Draw enough exponential gaps to cover the window, then trim.
+    expected = max(int(rate * duration * 1.5), 16)
+    gaps = rng.exponential(1.0 / rate, size=expected)
+    arrivals = np.cumsum(gaps)
+    while arrivals[-1] < duration:                  # pragma: no cover - rare
+        extra = rng.exponential(1.0 / rate, size=expected)
+        arrivals = np.concatenate([arrivals, arrivals[-1] + np.cumsum(extra)])
+    return arrivals[arrivals < duration]
+
+
+def request_nodes(task: Task, count: int, nodes_per_request: int,
+                  rng: np.random.Generator) -> List[np.ndarray]:
+    """One random query-node batch per scheduled request."""
+    return [rng.integers(0, task.graph.num_nodes,
+                         size=nodes_per_request).astype(np.int64)
+            for _ in range(count)]
+
+
+def run_baseline(engine: CommunitySearchEngine, task: Task,
+                 arrivals: np.ndarray,
+                 node_batches: Sequence[np.ndarray]) -> LoadResult:
+    """The single-query loop: sequential ``predict_proba`` per request."""
+    rate = len(arrivals) / float(arrivals[-1]) if len(arrivals) else 0.0
+    engine.attach(task)             # context encoded outside the timing
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for arrival, nodes in zip(arrivals.tolist(), node_batches):
+        now = time.perf_counter() - start
+        if now < arrival:
+            time.sleep(arrival - now)
+        engine.predict_proba(nodes, task)
+        latencies.append((time.perf_counter() - start) - arrival)
+    makespan = time.perf_counter() - start
+    return LoadResult.from_latencies("baseline-loop", rate, len(arrivals),
+                                     rejected=0, makespan=makespan,
+                                     latencies=latencies)
+
+
+async def _drive_gateway(gateway: ServeGateway, task: Task,
+                         arrivals: np.ndarray,
+                         node_batches: Sequence[np.ndarray],
+                         wait_for_slot: bool):
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    latencies: List[float] = []
+    rejected = 0
+
+    async def one(arrival: float, nodes: np.ndarray) -> None:
+        nonlocal rejected
+        delay = (start + arrival) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            await gateway.submit(nodes, task, wait=wait_for_slot)
+        except QueueFull:
+            rejected += 1
+            return
+        # Open-loop latency: measured from the *scheduled* arrival, so
+        # time lost to a blocked event loop counts against the server.
+        latencies.append(loop.time() - (start + arrival))
+
+    await asyncio.gather(*[one(float(arrival), nodes) for arrival, nodes
+                           in zip(arrivals, node_batches)])
+    return latencies, rejected, loop.time() - start
+
+
+def run_gateway(engine: CommunitySearchEngine, task: Task,
+                arrivals: np.ndarray, node_batches: Sequence[np.ndarray],
+                config: Optional[GatewayConfig] = None,
+                wait_for_slot: bool = False,
+                stats_out: Optional[list] = None) -> LoadResult:
+    """The coalescing gateway under the same open-loop schedule.
+
+    ``stats_out``, if given, receives the gateway's final
+    :class:`~repro.serve.stats.ServeStats` snapshot (appended) — the CLI
+    uses it to print the scrapeable metrics after a run.
+    """
+    rate = len(arrivals) / float(arrivals[-1]) if len(arrivals) else 0.0
+    engine.attach(task)             # context encoded outside the timing
+
+    async def scenario():
+        async with ServeGateway(engine, config) as gateway:
+            driven = await _drive_gateway(gateway, task, arrivals,
+                                          node_batches, wait_for_slot)
+            if stats_out is not None:
+                stats_out.append(gateway.stats())
+            return driven
+
+    latencies, rejected, makespan = asyncio.run(scenario())
+    return LoadResult.from_latencies("gateway", rate, len(arrivals),
+                                     rejected=rejected, makespan=makespan,
+                                     latencies=latencies)

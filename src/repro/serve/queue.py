@@ -1,0 +1,145 @@
+"""Bounded request queue with caller-selectable backpressure.
+
+The gateway's admission control lives here, decoupled from the asyncio
+event-loop plumbing of :mod:`~repro.serve.gateway`:
+
+* :class:`ServeRequest` — one in-flight request: the task session, the
+  *pre-validated* query-node indices, the caller's future and the
+  submit timestamp (queue-wait and latency are measured from it);
+* :class:`QueueFull` — the typed rejection raised by ``put_nowait``
+  when the queue is at capacity, carrying the capacity so callers can
+  log/react without string-parsing;
+* :class:`RequestQueue` — a FIFO bounded at ``capacity``.  Two
+  admission modes, the caller's choice per submit: ``put_nowait``
+  rejects instantly (load shedding — the open-loop benchmark uses it to
+  keep tail latency honest under overload), ``await put(...)`` parks
+  the caller on a slot future that the next drain resolves
+  (cooperative backpressure — upstream slows to the gateway's pace).
+
+Drains move *parked* requests into the freed slots in arrival order, so
+an awaited request is never overtaken by one that arrived after it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..tasks.task import Task
+
+__all__ = ["QueueFull", "ServeRequest", "RequestQueue"]
+
+
+class QueueFull(RuntimeError):
+    """Typed rejection: the bounded request queue is at capacity.
+
+    Attributes
+    ----------
+    capacity:
+        The queue bound that was hit — callers can surface it in error
+        payloads or back off proportionally.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(
+            f"serve queue is full ({capacity} requests waiting); retry "
+            f"later, submit with wait=True to await a slot, or raise the "
+            f"gateway's queue capacity")
+        self.capacity = capacity
+
+
+@dataclasses.dataclass
+class ServeRequest:
+    """One submitted query batch waiting for (or receiving) its tick."""
+
+    task: Task
+    nodes: np.ndarray              # validated policy-width query indices
+    future: "asyncio.Future[np.ndarray]"
+    submitted_at: float            # event-loop clock at submit
+
+
+class RequestQueue:
+    """A bounded FIFO of :class:`ServeRequest` with slot waiters.
+
+    Not thread-safe by design: it must only be touched from the event
+    loop that owns the gateway (the engine underneath has its own lock;
+    cross-thread submission goes through
+    ``asyncio.run_coroutine_threadsafe`` on the gateway's loop).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._items: Deque[ServeRequest] = deque()
+        self._waiters: Deque[Tuple["asyncio.Future[None]", ServeRequest]] = \
+            deque()
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_for_slot(self) -> int:
+        """Parked ``put`` callers not yet admitted."""
+        return len(self._waiters)
+
+    def _track_depth(self) -> None:
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+
+    def put_nowait(self, request: ServeRequest) -> None:
+        """Admit ``request`` or raise :class:`QueueFull` immediately."""
+        if len(self._items) >= self.capacity:
+            raise QueueFull(self.capacity)
+        self._items.append(request)
+        self._track_depth()
+
+    async def put(self, request: ServeRequest) -> None:
+        """Admit ``request``, awaiting a free slot if at capacity.
+
+        Cancelling the await (e.g. a caller timeout) removes the parked
+        request — it will never be admitted or executed.
+        """
+        if len(self._items) < self.capacity and not self._waiters:
+            self._items.append(request)
+            self._track_depth()
+            return
+        loop = asyncio.get_running_loop()
+        slot: "asyncio.Future[None]" = loop.create_future()
+        entry = (slot, request)
+        self._waiters.append(entry)
+        try:
+            await slot
+        except asyncio.CancelledError:
+            # Either still parked (remove) or already admitted by a
+            # drain (too late to un-admit; the request's own future was
+            # cancelled alongside, so the batcher will skip it).
+            if entry in self._waiters:
+                self._waiters.remove(entry)
+            raise
+
+    def drain(self, limit: Optional[int] = None) -> List[ServeRequest]:
+        """Remove and return up to ``limit`` requests (all by default).
+
+        Freed capacity is immediately re-offered to parked ``put``
+        callers in arrival order: their requests join the queue (to be
+        served next tick) and their slot futures resolve.
+        """
+        if limit is None or limit >= len(self._items):
+            batch = list(self._items)
+            self._items.clear()
+        else:
+            batch = [self._items.popleft() for _ in range(limit)]
+        while self._waiters and len(self._items) < self.capacity:
+            slot, request = self._waiters.popleft()
+            if slot.cancelled():
+                continue
+            self._items.append(request)
+            self._track_depth()
+            slot.set_result(None)
+        return batch

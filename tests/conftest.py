@@ -25,6 +25,16 @@ _FLOAT64_PINNED_MODULES = {"test_tensor", "test_graph_batch", "test_api",
                            "test_properties", "test_index_dtype"}
 
 
+def pytest_configure(config):
+    # No pytest-asyncio dependency: async scenarios are sync tests
+    # wrapping asyncio.run().  The marker exists so CI can select the
+    # fast event-loop tests with `-m asyncio`.
+    config.addinivalue_line(
+        "markers",
+        "asyncio: exercises the repro.serve event-loop path "
+        "(plain asyncio.run, no pytest-asyncio)")
+
+
 @pytest.fixture(autouse=True)
 def _pin_numeric_equivalence_precision(request):
     if request.module.__name__ in _FLOAT64_PINNED_MODULES:

@@ -274,6 +274,103 @@ class TestCommunitySearchEngine:
         assert engine.stats().contexts_encoded == 0
 
 
+class TestPredictProbaMany:
+    @pytest.mark.parametrize("decoder", ["ip", "mlp", "gnn"])
+    def test_bitwise_identical_to_per_batch_calls(self, decoder, tiny_tasks):
+        """The coalescing primitive shares the context transform but keeps
+        per-batch BLAS shapes, so each answer is bitwise-equal to its own
+        predict_proba call — the contract the serve gateway builds on."""
+        train, (task, _) = tiny_tasks
+        in_dim = train[0].features().shape[1]
+        model = CGNP(in_dim, CGNPConfig(hidden_dim=8, num_layers=2,
+                                        conv="gcn", decoder=decoder),
+                     make_rng(11))
+        engine = CommunitySearchEngine(model).attach(task)
+        batches = [[0, 1, 2], [3], [4, 5, 6, 7]]
+        coalesced = engine.predict_proba_many(batches)
+        for nodes, matrix in zip(batches, coalesced):
+            np.testing.assert_array_equal(matrix,
+                                          engine.predict_proba(nodes))
+
+    def test_counts_one_decode_call(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        engine.predict_proba_many([[0, 1], [2], [3, 4]])
+        stats = engine.stats()
+        assert stats.decode_calls == 1
+        assert stats.batches_served == 3
+        assert stats.queries_served == 5
+
+    def test_empty_input_returns_empty(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        assert engine.predict_proba_many([]) == []
+        assert engine.stats().decode_calls == 0
+
+    def test_validates_every_batch_before_decoding(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.predict_proba_many([[0], [test_task.graph.num_nodes]])
+        assert engine.stats().queries_served == 0
+
+
+class TestEngineStatsTimers:
+    def test_query_timestamps_and_wall_seconds(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        before = engine.stats()
+        assert before.first_query_at is None
+        assert before.wall_seconds == 0.0
+        engine.predict_proba([0])
+        engine.predict_proba([1])
+        stats = engine.stats()
+        assert stats.first_query_at is not None
+        assert stats.last_query_at >= stats.first_query_at
+        assert stats.wall_seconds == pytest.approx(
+            stats.last_query_at - stats.first_query_at)
+
+    def test_as_dict_round_trips_through_json(self, model, test_task):
+        engine = CommunitySearchEngine(model).attach(test_task)
+        engine.predict_proba(np.arange(4))   # numpy-typed query input
+        data = json.loads(json.dumps(engine.stats().as_dict()))
+        assert data["queries_served"] == 4
+        assert data["decode_calls"] == 1
+        assert isinstance(data["wall_seconds"], float)
+        assert isinstance(data["queries_per_second"], float)
+
+
+class TestEngineThreadSafety:
+    def test_concurrent_callers_lose_no_counts(self, model, tiny_tasks):
+        """The documented contract: public methods serialise under one
+        lock, so hammering one engine from several threads corrupts
+        neither the context LRU nor the stats counters."""
+        import threading
+
+        _, (task_a, task_b) = tiny_tasks
+        engine = CommunitySearchEngine(model, max_cached_contexts=1)
+        rounds, errors = 12, []
+
+        def hammer(task, nodes):
+            try:
+                for _ in range(rounds):
+                    engine.attach(task)
+                    engine.predict_proba(nodes, task)
+                    engine.predict_proba_many([nodes, nodes], task=task)
+                    engine.stats()
+            except Exception as exc:    # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(task, [0, 1, 2]))
+                   for task in (task_a, task_b, task_a, task_b)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        stats = engine.stats()
+        assert stats.queries_served == 4 * rounds * (3 + 6)
+        assert stats.batches_served == 4 * rounds * (1 + 2)
+        assert stats.decode_calls == 4 * rounds * 2
+
+
 class TestBatchedDecoders:
     @pytest.mark.parametrize("decoder", ["ip", "mlp", "gnn"])
     def test_batch_matches_loop(self, decoder, tiny_tasks):

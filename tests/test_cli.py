@@ -149,6 +149,60 @@ class TestCommands:
                      "--scale", "0.2"])
         assert code == 2
 
+    def test_serve_and_loadgen_roundtrip(self, tmp_path, capsys):
+        """train -> serve -> loadgen on a tiny model and short schedules."""
+        model_path = str(tmp_path / "model.npz")
+        metrics_path = str(tmp_path / "metrics.prom")
+        main(["train", "--dataset", "cora", "--out", model_path,
+              "--epochs", "1", "--tasks", "3", "--subgraph-nodes", "50",
+              "--hidden-dim", "8", "--layers", "2", "--conv", "gcn",
+              "--scale", "0.2"])
+        capsys.readouterr()
+
+        code = main(["serve", "--dataset", "cora", "--model", model_path,
+                     "--subgraph-nodes", "50", "--scale", "0.2",
+                     "--rate", "60", "--duration", "0.3",
+                     "--metrics-out", metrics_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gateway" in out
+        assert "decoder pass" in out
+        metrics = open(metrics_path).read()
+        assert metrics.startswith("# HELP ")
+        assert 'repro_serve_requests_total{outcome="completed"}' in metrics
+
+        code = main(["loadgen", "--dataset", "cora", "--model", model_path,
+                     "--subgraph-nodes", "50", "--scale", "0.2",
+                     "--rates", "40,80", "--duration", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline-loop" in out
+        assert "gateway" in out
+        assert "p99 ms" in out
+
+    def test_serve_rejects_legacy_checkpoint(self, tmp_path, capsys):
+        from repro.api import ModelBundle
+        from repro.nn.serialize import save_state
+
+        model_path = str(tmp_path / "model.npz")
+        legacy_path = str(tmp_path / "legacy.npz")
+        main(["train", "--dataset", "cora", "--out", model_path,
+              "--epochs", "1", "--tasks", "2", "--subgraph-nodes", "40",
+              "--hidden-dim", "8", "--layers", "1", "--conv", "gcn",
+              "--scale", "0.2"])
+        capsys.readouterr()
+        save_state(ModelBundle.load(model_path).state, legacy_path)
+        code = main(["serve", "--dataset", "cora", "--model", legacy_path,
+                     "--subgraph-nodes", "40", "--scale", "0.2",
+                     "--rate", "40", "--duration", "0.2"])
+        assert code == 2
+        assert "legacy" in capsys.readouterr().err
+
+    def test_loadgen_rejects_empty_rates(self, capsys):
+        code = main(["loadgen", "--model", "x.npz", "--rates", ","])
+        assert code == 2
+        assert "--rates" in capsys.readouterr().err
+
     def test_methods_lists_registry(self, capsys):
         assert main(["methods"]) == 0
         out = capsys.readouterr().out

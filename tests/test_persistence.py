@@ -58,12 +58,20 @@ class TestRoundTrip:
                 np.testing.assert_array_equal(a.membership, b.membership)
 
     def test_feature_config_preserved(self, task_set, tmp_path):
+        # task_set wraps the session-scoped tiny_tasks Task objects, so
+        # the flag flip must be undone or every later test module sees
+        # structural-only features.
+        originals = [task.use_attributes for task in task_set.train]
         for task in task_set.train:
             task.use_attributes = False
-        path = str(tmp_path / "tasks.npz")
-        save_task_set(task_set, path)
-        loaded = load_task_set(path)
-        assert all(not t.use_attributes for t in loaded.train)
+        try:
+            path = str(tmp_path / "tasks.npz")
+            save_task_set(task_set, path)
+            loaded = load_task_set(path)
+            assert all(not t.use_attributes for t in loaded.train)
+        finally:
+            for task, original in zip(task_set.train, originals):
+                task.use_attributes = original
 
     def test_features_match_after_reload(self, task_set, tmp_path):
         path = str(tmp_path / "tasks.npz")

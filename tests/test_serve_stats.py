@@ -1,0 +1,234 @@
+"""Tests for ``repro.serve.stats``: histograms, ServeStats, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.engine import EngineStats
+from repro.serve import (BATCH_SIZE_BUCKETS, LATENCY_BUCKETS, Histogram,
+                         ServeStats, batch_size_histogram, latency_histogram)
+
+
+class TestHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([])
+
+    def test_observe_counts_and_moments(self):
+        hist = Histogram([1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(560.5)
+        assert hist.mean == pytest.approx(112.1)
+        assert hist.min_observed == 0.5
+        assert hist.max_observed == 500.0
+        assert hist.counts == [1, 2, 1, 1]   # trailing +Inf bucket
+
+    def test_bucket_bounds_are_le_inclusive(self):
+        """Prometheus ``le`` semantics: a value ON a bound joins that bucket."""
+        hist = Histogram([1.0, 2.0])
+        hist.observe(1.0)
+        hist.observe(2.0)
+        assert hist.counts == [1, 1, 0]
+
+    def test_single_value_reported_at_every_quantile(self):
+        hist = latency_histogram()
+        hist.observe(0.0123)
+        for q in (0, 1, 50, 95, 99, 100):
+            assert hist.percentile(q) == pytest.approx(0.0123)
+
+    def test_percentile_monotone_in_q(self):
+        rng = np.random.default_rng(0)
+        hist = latency_histogram()
+        for value in rng.exponential(0.01, size=500):
+            hist.observe(value)
+        quantiles = [hist.percentile(q) for q in range(0, 101, 5)]
+        assert all(b >= a for a, b in zip(quantiles, quantiles[1:]))
+
+    def test_percentile_tracks_exact_percentile(self):
+        """Interpolated estimates stay within a bucket of the exact value."""
+        rng = np.random.default_rng(1)
+        values = rng.exponential(0.02, size=2000)
+        hist = latency_histogram()
+        for value in values:
+            hist.observe(value)
+        for q in (50, 95, 99):
+            exact = float(np.percentile(values, q))
+            estimate = hist.percentile(q)
+            # Geometric buckets with factor 1.5: the estimate lives in the
+            # same bucket as the exact quantile, so at most 50% off.
+            assert estimate == pytest.approx(exact, rel=0.5)
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            latency_histogram().percentile(101)
+
+    def test_empty_histogram(self):
+        hist = latency_histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(99) == 0.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = Histogram([1.0])
+        hist.observe(123.0)
+        assert hist.percentile(99) == 123.0
+
+    def test_copy_is_isolated(self):
+        hist = latency_histogram()
+        hist.observe(0.5)
+        clone = hist.copy()
+        clone.observe(5.0)
+        assert hist.count == 1 and clone.count == 2
+
+    def test_as_dict_buckets_cumulative(self):
+        hist = batch_size_histogram()
+        for value in (1, 3, 3, 9, 10_000):
+            hist.observe(value)
+        data = hist.as_dict()
+        cumulative = list(data["buckets"].values())
+        assert all(b >= a for a, b in zip(cumulative, cumulative[1:]))
+        assert data["buckets"]["+Inf"] == data["count"] == 5
+        json.dumps(data)
+
+    def test_default_bucket_layouts(self):
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+        assert len(LATENCY_BUCKETS) == 43
+        assert BATCH_SIZE_BUCKETS[0] == 1.0
+
+
+class TestServeStats:
+    def make_stats(self) -> ServeStats:
+        stats = ServeStats(submitted=10, completed=7, rejected=1, cancelled=1,
+                           failed=1, ticks=5, empty_ticks=2,
+                           queue_depth_high_water=4)
+        for value in (0.001, 0.002, 0.04):
+            stats.queue_wait.observe(value)
+            stats.request_latency.observe(value * 2)
+        stats.tick_batch_requests.observe(3)
+        return stats
+
+    def test_as_dict_round_trips_through_json(self):
+        stats = self.make_stats()
+        # numpy scalars sneaking into counters must not break json.dumps.
+        stats.queries_served = np.int64(42)
+        stats.decode_seconds = np.float64(0.5)
+        data = json.loads(json.dumps(stats.as_dict()))
+        assert data["queries_served"] == 42
+        assert data["submitted"] == 10
+        assert data["request_latency"]["count"] == 3
+
+    def test_with_engine_merges_and_isolates(self):
+        stats = self.make_stats()
+        engine_stats = EngineStats(queries_served=99, decode_calls=3,
+                                   backend="numpy")
+        merged = stats.with_engine(engine_stats)
+        assert merged.queries_served == 99
+        assert merged.decode_calls == 3
+        assert merged.backend == "numpy"
+        assert merged.submitted == 10
+        # Histograms are copies: mutating the snapshot leaves the live
+        # stats untouched.
+        merged.queue_wait.observe(9.0)
+        assert stats.queue_wait.count == 3
+
+    def test_inherits_engine_derived_metrics(self):
+        stats = ServeStats(queries_served=10, decode_seconds=2.0)
+        assert stats.queries_per_second == pytest.approx(5.0)
+
+
+class TestMetricsText:
+    """``metrics_text`` must parse as Prometheus text exposition format."""
+
+    def parse(self, text: str):
+        """Minimal Prometheus text-format parser: returns (types, samples)."""
+        assert text.endswith("\n")
+        types, helps, samples = {}, {}, []
+        for line in text.splitlines():
+            assert line == line.strip() and line
+            if line.startswith("# HELP "):
+                name, help_text = line[len("# HELP "):].split(" ", 1)
+                helps[name] = help_text
+                continue
+            if line.startswith("# TYPE "):
+                name, kind = line[len("# TYPE "):].split(" ")
+                assert kind in ("counter", "gauge", "histogram")
+                types[name] = kind
+                continue
+            assert not line.startswith("#")
+            body, value = line.rsplit(" ", 1)
+            name = body.split("{", 1)[0]
+            labels = {}
+            if "{" in body:
+                inner = body[body.index("{") + 1:body.rindex("}")]
+                for pair in inner.split(","):
+                    key, raw = pair.split("=", 1)
+                    assert raw.startswith('"') and raw.endswith('"')
+                    labels[key] = raw[1:-1]
+            samples.append((name, labels, float(value)))
+        return types, helps, samples
+
+    def sample_stats(self) -> ServeStats:
+        stats = ServeStats(submitted=5, completed=4, rejected=1, ticks=3,
+                           empty_ticks=1, queue_depth_high_water=2,
+                           queries_served=8, batches_served=4,
+                           decode_calls=2, decode_seconds=0.01,
+                           backend="numpy")
+        for value in (0.001, 0.003, 0.2):
+            stats.queue_wait.observe(value)
+            stats.request_latency.observe(value)
+        stats.tick_batch_requests.observe(2)
+        stats.tick_batch_requests.observe(2)
+        return stats
+
+    def test_every_sample_is_declared(self):
+        types, helps, samples = self.parse(self.sample_stats().metrics_text())
+        assert types.keys() == helps.keys()
+        for name, _labels, _value in samples:
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[:-len(suffix)] in types:
+                    base = name[:-len(suffix)]
+            assert base in types, f"undeclared metric {name}"
+            if base != name:
+                assert types[base] == "histogram"
+
+    def test_counters_follow_naming_convention(self):
+        types, _helps, _samples = self.parse(
+            self.sample_stats().metrics_text())
+        for name, kind in types.items():
+            if kind == "counter":
+                assert name.endswith("_total"), name
+
+    def test_histogram_buckets_cumulative_and_consistent(self):
+        types, _helps, samples = self.parse(self.sample_stats().metrics_text())
+        histograms = [name for name, kind in types.items()
+                      if kind == "histogram"]
+        assert "repro_serve_request_latency_seconds" in histograms
+        for name in histograms:
+            buckets = [(labels["le"], value) for metric, labels, value
+                       in samples if metric == f"{name}_bucket"]
+            count = next(value for metric, _labels, value in samples
+                         if metric == f"{name}_count")
+            assert buckets[-1][0] == "+Inf"
+            assert buckets[-1][1] == count
+            values = [value for _le, value in buckets]
+            assert all(b >= a for a, b in zip(values, values[1:]))
+            bounds = [float(le) for le, _value in buckets[:-1]]
+            assert bounds == sorted(bounds)
+
+    def test_outcome_labels_and_backend_info(self):
+        _types, _helps, samples = self.parse(self.sample_stats().metrics_text())
+        outcomes = {labels["outcome"]: value for name, labels, value in samples
+                    if name == "repro_serve_requests_total"}
+        assert outcomes == {"completed": 4.0, "rejected": 1.0,
+                            "cancelled": 0.0, "failed": 0.0}
+        backend = [labels for name, labels, _value in samples
+                   if name == "repro_engine_backend_info"]
+        assert backend == [{"backend": "numpy"}]
