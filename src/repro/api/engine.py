@@ -42,7 +42,7 @@ import numpy as np
 
 from ..core.infer import validate_queries
 from ..core.model import CGNP
-from ..nn.backend import get_backend
+from ..nn.backend import get_backend, resolve_context_storage
 from ..nn.tensor import Tensor, no_grad
 from ..tasks.task import Task
 from .bundle import ModelBundle
@@ -55,6 +55,56 @@ def _json_native(value: Any) -> Any:
     if isinstance(value, np.generic):
         return value.item()
     return value
+
+
+class _StoredContext:
+    """One cached context matrix at the engine's storage width.
+
+    ``"full"`` keeps the compute-dtype array as-is.  ``"float32"`` /
+    ``"float16"`` cast the payload down (2x/4x smaller than float64
+    compute).  ``"int8"`` quantises symmetrically per row — each row is
+    scaled by ``max|row| / 127`` (float32 scales, zero rows guard to
+    scale 1.0), an 8x compaction at float64 compute.  :meth:`tensor`
+    dequantises back to the compute dtype; every decode (including the
+    first, right after encoding) goes through it, so cache hits and the
+    encoding call itself see the exact same numbers.
+    """
+
+    __slots__ = ("storage", "payload", "scale", "compute_dtype")
+
+    def __init__(self, context: Tensor, storage: str):
+        data = context.data
+        self.storage = storage
+        self.compute_dtype = data.dtype
+        self.scale: Optional[np.ndarray] = None
+        if storage == "full":
+            self.payload = data
+        elif storage == "int8":
+            scale = (np.max(np.abs(data), axis=1) / 127.0).astype(np.float32)
+            scale[scale == 0.0] = 1.0
+            self.scale = scale
+            self.payload = np.clip(np.rint(data / scale[:, None]),
+                                   -127, 127).astype(np.int8)
+        else:
+            self.payload = data.astype(np.dtype(storage), copy=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this entry (payload + quantisation scales)."""
+        total = int(self.payload.nbytes)
+        if self.scale is not None:
+            total += int(self.scale.nbytes)
+        return total
+
+    def tensor(self) -> Tensor:
+        """The context at compute precision (dequantised when needed)."""
+        if self.storage == "full":
+            return Tensor(self.payload)
+        if self.storage == "int8":
+            data = (self.payload.astype(self.compute_dtype)
+                    * self.scale.astype(self.compute_dtype)[:, None])
+            return Tensor(data)
+        return Tensor(self.payload.astype(self.compute_dtype, copy=False))
 
 
 @dataclasses.dataclass
@@ -74,6 +124,12 @@ class EngineStats:
     Unix timestamps of the first/latest decode — the
     :class:`~repro.serve.ServeStats` layer derives observation windows
     from them independently of any per-call counter.
+
+    ``context_cache_bytes`` is the resident size of the context LRU
+    (payloads plus quantisation scales) and ``contexts_bytes_evicted``
+    the cumulative bytes reclaimed by LRU eviction; together with
+    ``context_storage`` (the engine's cache width policy) they make the
+    RAM-vs-capacity trade-off of compacted storage observable.
     """
 
     queries_served: int = 0
@@ -83,11 +139,14 @@ class EngineStats:
     context_cache_hits: int = 0
     context_cache_misses: int = 0
     contexts_evicted: int = 0
+    context_cache_bytes: int = 0
+    contexts_bytes_evicted: int = 0
     context_seconds: float = 0.0
     decode_seconds: float = 0.0
     first_query_at: Optional[float] = None
     last_query_at: Optional[float] = None
     backend: str = ""
+    context_storage: str = ""
 
     @property
     def queries_per_second(self) -> float:
@@ -123,6 +182,17 @@ class CommunitySearchEngine:
         Default membership probability threshold (overridable per query).
     max_cached_contexts:
         How many per-task context matrices to keep (LRU eviction).
+    context_storage:
+        Width the LRU stores contexts at: ``"full"`` (the compute
+        dtype), ``"float32"``, ``"float16"`` or ``"int8"`` (per-row
+        symmetric quantisation).  ``None`` defers to the ambient policy
+        (:func:`repro.nn.backend.default_context_storage` /
+        ``REPRO_CONTEXT_STORAGE``; default ``"full"``).  Compacted
+        storage multiplies how many task sessions fit in a fixed cache
+        RAM budget; decodes dequantise to the compute dtype and run the
+        final inner products with a float64 accumulator, keeping
+        membership sets at the default threshold identical to full
+        storage in practice (tests pin a zero parity gap).
 
     **Thread safety.**  Every public method is atomic: one re-entrant
     lock guards the context LRU, the stats counters and the decode pass
@@ -158,18 +228,29 @@ class CommunitySearchEngine:
     """
 
     def __init__(self, model: CGNP, threshold: float = 0.5,
-                 max_cached_contexts: int = 8):
+                 max_cached_contexts: int = 8,
+                 context_storage: Optional[str] = None):
         if max_cached_contexts < 1:
             raise ValueError("max_cached_contexts must be >= 1")
         model.eval()
         self.model = model
         self.threshold = float(threshold)
         self.max_cached_contexts = int(max_cached_contexts)
+        self.context_storage = resolve_context_storage(context_storage)
         self.bundle: Optional[ModelBundle] = None
-        self._contexts: "OrderedDict[Task, Tensor]" = OrderedDict()
+        self._contexts: "OrderedDict[Task, _StoredContext]" = OrderedDict()
         self._active: Optional[Task] = None
         self._stats = EngineStats()
         self._lock = threading.RLock()
+
+    @property
+    def _accum_dtype(self) -> Optional[np.dtype]:
+        """Decoder inner-product accumulator: float64 under compacted
+        storage (so decode rounding never stacks on quantisation error),
+        ``None`` — the compute dtype — under full storage."""
+        if self.context_storage == "full":
+            return None
+        return np.dtype(np.float64)
 
     # ------------------------------------------------------------------
     # Construction
@@ -179,17 +260,21 @@ class CommunitySearchEngine:
                     threshold: float = 0.5, max_cached_contexts: int = 8,
                     rng: Optional[np.random.Generator] = None,
                     dtype: Optional[str] = None,
+                    context_storage: Optional[str] = None,
                     ) -> "CommunitySearchEngine":
         """Build an engine from a saved :class:`ModelBundle` (or its path).
 
         ``dtype`` selects the serving precision (weights are cast on
         load); ``None`` keeps the precision the bundle was trained at.
+        ``context_storage`` selects the cache width (see the class
+        docstring); ``None`` defers to the ambient policy.
         """
         if not isinstance(bundle, ModelBundle):
             bundle = ModelBundle.load(os.fspath(bundle))
         engine = cls(bundle.build_model(rng=rng, dtype=dtype),
                      threshold=threshold,
-                     max_cached_contexts=max_cached_contexts)
+                     max_cached_contexts=max_cached_contexts,
+                     context_storage=context_storage)
         engine.bundle = bundle
         return engine
 
@@ -220,7 +305,7 @@ class CommunitySearchEngine:
         self._validate_task(task)
         with self._lock:
             if refresh:
-                self._contexts.pop(task, None)
+                self._pop_context(task)
             self._context_for(task)
             self._active = task
         return self
@@ -251,7 +336,7 @@ class CommunitySearchEngine:
                     continue
                 seen.add(id(task))
                 if refresh:
-                    self._contexts.pop(task, None)
+                    self._pop_context(task)
                 if task in self._contexts:
                     self._contexts.move_to_end(task)
                     self._stats.context_cache_hits += 1
@@ -265,7 +350,7 @@ class CommunitySearchEngine:
                 self._stats.context_seconds += time.perf_counter() - start
                 self._stats.contexts_encoded += len(missing)
                 for task, context in zip(missing, contexts):
-                    self._contexts[task] = context
+                    self._store_context(task, context)
                 self._evict()
             self._active = tasks[-1]
         return self
@@ -310,7 +395,7 @@ class CommunitySearchEngine:
         with self._lock:
             task = task if task is not None else self._active
             if task is not None:
-                self._contexts.pop(task, None)
+                self._pop_context(task)
             if task is self._active:
                 self._active = None
 
@@ -323,26 +408,51 @@ class CommunitySearchEngine:
         return task
 
     def _context_for(self, task: Task) -> Tensor:
-        """The task's context matrix, from cache or freshly encoded."""
+        """The task's context matrix, from cache or freshly encoded.
+
+        Always decodes through the stored entry — a freshly-encoded
+        context is stored first and read back, so under compacted
+        storage the very first decode sees the same (de)quantised
+        numbers every later cache hit will.
+        """
         cached = self._contexts.get(task)
         if cached is not None:
             self._contexts.move_to_end(task)
             self._stats.context_cache_hits += 1
-            return cached
+            return cached.tensor()
         self._stats.context_cache_misses += 1
         start = time.perf_counter()
         with no_grad():
             context = self.model.context(task)
         self._stats.context_seconds += time.perf_counter() - start
         self._stats.contexts_encoded += 1
-        self._contexts[task] = context
+        stored = self._store_context(task, context)
         self._evict()
-        return context
+        return stored.tensor()
+
+    def _store_context(self, task: Task, context: Tensor) -> _StoredContext:
+        """Insert a context at the cache width; account its bytes."""
+        stored = _StoredContext(context, self.context_storage)
+        previous = self._contexts.pop(task, None)
+        if previous is not None:
+            self._stats.context_cache_bytes -= previous.nbytes
+        self._contexts[task] = stored
+        self._stats.context_cache_bytes += stored.nbytes
+        return stored
+
+    def _pop_context(self, task: Task) -> None:
+        """Drop a cached context and its bytes (detach/refresh — not an
+        LRU eviction, so the eviction counters stay untouched)."""
+        stored = self._contexts.pop(task, None)
+        if stored is not None:
+            self._stats.context_cache_bytes -= stored.nbytes
 
     def _evict(self) -> None:
         while len(self._contexts) > self.max_cached_contexts:
-            self._contexts.popitem(last=False)
+            _, stored = self._contexts.popitem(last=False)
             self._stats.contexts_evicted += 1
+            self._stats.context_cache_bytes -= stored.nbytes
+            self._stats.contexts_bytes_evicted += stored.nbytes
 
     # ------------------------------------------------------------------
     # Serving
@@ -368,8 +478,9 @@ class CommunitySearchEngine:
             context = self._context_for(task)
             start = time.perf_counter()
             with no_grad():
-                logits = self.model.query_logits_batch(context, indices,
-                                                       task.graph)
+                logits = self.model.query_logits_batch(
+                    context, indices, task.graph,
+                    accum_dtype=self._accum_dtype)
                 probabilities = logits.sigmoid().data
             self._record_decode(time.perf_counter() - start,
                                 queries=int(indices.size), batches=1)
@@ -401,8 +512,9 @@ class CommunitySearchEngine:
             context = self._context_for(task)
             start = time.perf_counter()
             with no_grad():
-                logits = self.model.query_logits_many(context, validated,
-                                                      task.graph)
+                logits = self.model.query_logits_many(
+                    context, validated, task.graph,
+                    accum_dtype=self._accum_dtype)
                 results = [batch_logits.sigmoid().data
                            for batch_logits in logits]
             self._record_decode(
@@ -452,9 +564,12 @@ class CommunitySearchEngine:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """A snapshot of the serving counters (plus the active backend)."""
+        """A snapshot of the serving counters (plus the active backend
+        and the cache width policy)."""
         with self._lock:
-            return dataclasses.replace(self._stats, backend=get_backend().name)
+            return dataclasses.replace(self._stats,
+                                       backend=get_backend().name,
+                                       context_storage=self.context_storage)
 
     def reset_stats(self) -> None:
         with self._lock:

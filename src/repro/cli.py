@@ -170,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serving precision (default float32 — weights "
                             "are cast on load; 'bundle' keeps the precision "
                             "the model was trained at)")
+    query.add_argument("--context-storage", default=None,
+                       choices=["full", "float32", "float16", "int8"],
+                       help="context cache width (default: the ambient "
+                            "REPRO_CONTEXT_STORAGE policy, i.e. 'full'); "
+                            "float16/int8 fit 2-8x more task sessions in "
+                            "the same cache RAM")
     _add_backend_flags(query)
     # Deprecated no-ops: the architecture now travels inside the bundle.
     # Still accepted (and used as a fallback for legacy weight-only files)
@@ -221,6 +227,10 @@ def _add_serving_fixture_flags(parser: argparse.ArgumentParser) -> None:
                         choices=["float32", "float64", "bundle"],
                         help="serving precision (default float32; 'bundle' "
                              "keeps the training precision)")
+    parser.add_argument("--context-storage", default=None,
+                        choices=["full", "float32", "float16", "int8"],
+                        help="context cache width (default: the ambient "
+                             "REPRO_CONTEXT_STORAGE policy, i.e. 'full')")
     parser.add_argument("--nodes-per-request", type=int, default=1,
                         help="query nodes per simulated request (1 = the "
                              "single-query traffic the gateway exists for)")
@@ -414,7 +424,8 @@ def _run_query(args: argparse.Namespace) -> int:
               file=sys.stderr)
         model = bundle.build_model(make_rng(0), config=_legacy_config(args),
                                    in_dim=in_dim, dtype=serving_dtype)
-        engine = CommunitySearchEngine(model, threshold=args.threshold)
+        engine = CommunitySearchEngine(model, threshold=args.threshold,
+                                       context_storage=args.context_storage)
     else:
         print(f"loaded {bundle.describe()}")
         if bundle.in_dim != in_dim:
@@ -422,9 +433,9 @@ def _run_query(args: argparse.Namespace) -> int:
                   f"but dataset {args.dataset!r} at scale {args.scale} "
                   f"produces {in_dim}-dim features", file=sys.stderr)
             return 2
-        engine = CommunitySearchEngine.from_bundle(bundle,
-                                                   threshold=args.threshold,
-                                                   dtype=serving_dtype)
+        engine = CommunitySearchEngine.from_bundle(
+            bundle, threshold=args.threshold, dtype=serving_dtype,
+            context_storage=args.context_storage)
 
     try:
         engine.attach(task)
@@ -479,7 +490,8 @@ def _serving_fixture(args: argparse.Namespace):
               f"but dataset {args.dataset!r} at scale {args.scale} "
               f"produces {in_dim}-dim features", file=sys.stderr)
         return None
-    engine = CommunitySearchEngine.from_bundle(bundle, dtype=serving_dtype)
+    engine = CommunitySearchEngine.from_bundle(
+        bundle, dtype=serving_dtype, context_storage=args.context_storage)
     return engine, task
 
 

@@ -63,16 +63,19 @@ class Decoder(Module):
         return transformed.matmul(query_embedding.reshape(-1))             # (n,)
 
     def forward_batch(self, context: Tensor, queries: np.ndarray,
-                      graph: Graph) -> Tensor:
+                      graph: Graph,
+                      accum_dtype: Optional[np.dtype] = None) -> Tensor:
         """Membership logits for a batch of queries: ``(B, n)``.
 
         Row ``b`` equals ``forward(context, queries[b], graph)``; the
-        context transform runs once for the whole batch.
+        context transform runs once for the whole batch.  See
+        :meth:`inner_products` for ``accum_dtype``.
         """
-        return self.inner_products(self.transform(context, graph), queries)
+        return self.inner_products(self.transform(context, graph), queries,
+                                   accum_dtype=accum_dtype)
 
-    def inner_products(self, transformed: Tensor,
-                       queries: np.ndarray) -> Tensor:
+    def inner_products(self, transformed: Tensor, queries: np.ndarray,
+                       accum_dtype: Optional[np.dtype] = None) -> Tensor:
         """Query rows of an *already transformed* context: ``(B, n)``.
 
         The second half of :meth:`forward_batch`, split out so callers
@@ -81,8 +84,19 @@ class Decoder(Module):
         while keeping each batch's BLAS shapes exactly those of a
         standalone :meth:`forward_batch` call — which is what makes the
         coalesced answers bitwise-identical to direct ones.
+
+        ``accum_dtype`` (inference only, never taped) runs the inner
+        products at a wider accumulator and casts the logits back to the
+        context's dtype — the engine sets float64 when contexts are
+        stored compacted (float16/int8), so the decoder's long dot
+        products never stack rounding on top of the storage quantisation.
         """
         indices = np.asarray(queries, dtype=resolve_index_dtype())
+        if accum_dtype is not None:
+            data = transformed.data
+            wide = data.astype(accum_dtype, copy=False)
+            logits = wide[indices] @ wide.T              # (B, n) at accum
+            return Tensor(logits.astype(data.dtype, copy=False))
         gathered = transformed.take_rows(indices)        # (B, d)
         return gathered.matmul(transformed.transpose())  # (B, n)
 

@@ -25,9 +25,11 @@ import numpy as np
 
 from ..graph import Graph, GraphBatch
 from ..nn import functional as F
-from ..nn.backend import index_dtype_for, resolve_dtype, resolve_index_dtype
+from ..nn.backend import (fused_inference_enabled, get_backend,
+                          index_dtype_for, resolve_dtype, resolve_index_dtype)
 from ..nn.module import Module
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor, is_grad_enabled, no_grad
+from ..gnn.conv import GATConv, GCNConv, SAGEConv, graph_ops
 from ..gnn.encoder import GNNEncoder, make_query_features, make_support_features
 from ..tasks.task import QueryExample, Task
 from .aggregators import MeanAggregator, SumAggregator, make_aggregator
@@ -154,19 +156,28 @@ class CGNP(Module):
         itself is a single segment reduction (no per-task Python loop).
         """
         tasks, support_sets = self._resolve_supports(tasks, supports)
-        hidden, layout = self._encode_support_views(tasks, support_sets)
+        stacked, batch, layout = self._collate_support_views(tasks,
+                                                            support_sets)
         sizes64 = np.asarray([n for _, n in layout], dtype=np.int64)
         offsets64 = np.concatenate([[0], np.cumsum(sizes64)])
         index_dtype = index_dtype_for(int(offsets64[-1]))
-        sizes = sizes64.astype(index_dtype, copy=False)
         offsets = offsets64.astype(index_dtype, copy=False)
 
         if isinstance(self.aggregator, (SumAggregator, MeanAggregator)):
             if all(k == 1 for k, _ in layout):
-                return hidden, offsets          # 1-shot: views are contexts
+                # 1-shot: views are contexts (encoder fuses per layer
+                # internally when inference allows).
+                hidden = self.encoder(Tensor(stacked, dtype=self.dtype),
+                                      batch)
+                return hidden, offsets
             segment = np.concatenate(
                 [np.tile(np.arange(n, dtype=index_dtype), k) + int(offset)
                  for (k, n), offset in zip(layout, offsets[:-1])])
+            if self._fold_active():
+                combined = self._fused_context_fold(tasks, stacked, batch,
+                                                    layout, offsets, segment)
+                return combined, offsets
+            hidden = self.encoder(Tensor(stacked, dtype=self.dtype), batch)
             combined = F.scatter_add(hidden, segment, int(offsets[-1]))
             if isinstance(self.aggregator, MeanAggregator):
                 inverse_counts = np.concatenate(
@@ -174,6 +185,8 @@ class CGNP(Module):
                      for k, n in layout])
                 combined = combined * Tensor(inverse_counts[:, None])
             return combined, offsets
+
+        hidden = self.encoder(Tensor(stacked, dtype=self.dtype), batch)
 
         contexts: List[Tensor] = []
         row = 0
@@ -199,13 +212,15 @@ class CGNP(Module):
         return tasks, [list(s) if s is not None else list(t.support)
                        for t, s in zip(tasks, supports)]
 
-    def _encode_support_views(self, tasks: Sequence[Task],
-                              support_sets: Sequence[List[QueryExample]],
-                              ):
-        """One block-diagonal encoder forward over every support view.
+    def _collate_support_views(self, tasks: Sequence[Task],
+                               support_sets: Sequence[List[QueryExample]],
+                               ):
+        """Collate every support view into one block-diagonal batch.
 
-        Returns the stacked view embeddings and the ``(shots, nodes)``
-        layout of each task's row blocks.
+        Returns ``(stacked_inputs, batch, layout)`` where ``layout`` is
+        the ``(shots, nodes)`` row-block description of each task; the
+        caller runs the encoder (fully, or stopping one layer short on
+        the fused serving path).
         """
         inputs: List[np.ndarray] = []
         replicas: List[Graph] = []
@@ -240,28 +255,139 @@ class CGNP(Module):
         else:
             batch = GraphBatch(replicas)
         stacked = inputs[0] if len(inputs) == 1 else np.concatenate(inputs, axis=0)
-        return self.encoder(Tensor(stacked, dtype=self.dtype), batch), layout
+        return stacked, batch, layout
+
+    def _fold_active(self) -> bool:
+        """Whether the fused encode-then-aggregate fold may run.
+
+        Requires inference (policy on, eval mode, no tape — the same
+        gate as the encoder's per-layer fusion) plus a linear final
+        encoder layer w.r.t. the ⊕ reduction: ``activate_final`` must be
+        off (CGNP's default — the context embedding is linear).  The
+        caller has already checked the aggregator is sum/mean.
+        """
+        return (fused_inference_enabled() and not self.training
+                and not is_grad_enabled() and not self.encoder.activate_final)
+
+    def _fused_context_fold(self, tasks: Sequence[Task],
+                            stacked: np.ndarray, batch,
+                            layout: Sequence[tuple],
+                            offsets: np.ndarray,
+                            segment: np.ndarray) -> Tensor:
+        """Fold the final encoder layer and the segment-scatter ⊕ together.
+
+        The unfused path runs all ``K`` encoder layers over the
+        ``sum(k_t * n_t)``-row replica batch and then segment-reduces.
+        Because the final CGNP layer is linear in its input (GCN/SAGE) or
+        ends in a scatter (GAT), the reduction commutes with (part of)
+        it:
+
+        * **GCN/SAGE** — ``⊕_k L(X_k) = L(⊕_k X_k)`` (with the bias
+          replicated ``k`` times under the sum ⊕), so the penultimate
+          activations are pooled *first* and the final layer runs over
+          the ``sum(n_t)``-row task batch: its spmm + matmul cost drops
+          by the shot count ``k``.  The spmm and bias ride the fused
+          ``spmm_bias_act`` kernel.
+        * **GAT** — attention is nonlinear per replica, so the edge path
+          still runs on the replica batch; but the final per-head
+          scatter and the ⊕ segment-scatter compose into ONE scatter
+          (``segment[edge_dst]``), skipping the ``(sum k_t n_t, d)``
+          intermediate and its second full pass.
+
+        Numerics: reassociating the sums is exact in exact arithmetic
+        but not bitwise in floats — contexts match the unfused path to
+        ~1e-12 relative at float64 (tests pin membership parity as well).
+        """
+        xp = get_backend()
+        x, ops = self.encoder.encode_hidden(Tensor(stacked, dtype=self.dtype),
+                                            batch)
+        data = x.data
+        total = int(offsets[-1])
+        conv = self.encoder.convs[-1]
+        mean = isinstance(self.aggregator, MeanAggregator)
+        ks = [k for k, _ in layout]
+        uniform_k = len(set(ks)) == 1
+        bias = None if conv.bias is None else conv.bias.data
+
+        def finish(out: np.ndarray) -> Tensor:
+            """Scale for the mean ⊕ and add the (k-replicated) bias."""
+            if mean:
+                inverse_counts = np.concatenate(
+                    [np.full(n, 1.0 / k, dtype=out.dtype) for k, n in layout])
+                out *= inverse_counts[:, None]
+                if bias is not None:
+                    out += bias
+            elif bias is not None:
+                if uniform_k:
+                    out += bias * ks[0]
+                else:
+                    counts = np.concatenate(
+                        [np.full(n, k, dtype=out.dtype) for k, n in layout])
+                    out += bias * counts[:, None]
+            return Tensor(out)
+
+        if isinstance(conv, GATConv):
+            # Compose the conv's destination scatter with the ⊕ scatter.
+            agg_dst = segment[np.asarray(ops.edge_dst)]
+            accum: Optional[np.ndarray] = None
+            for head in range(conv.num_heads):
+                h = xp.matmul(data, conv.weight.data[head])
+                score_src = (h * conv.attn_src.data[head]).sum(axis=1)
+                score_dst = (h * conv.attn_dst.data[head]).sum(axis=1)
+                raw = (xp.gather_rows(score_src, ops.edge_src)
+                       + xp.gather_rows(score_dst, ops.edge_dst))
+                logits = np.where(raw > 0, raw, conv.negative_slope * raw)
+                alpha = xp.segment_softmax(logits, ops.edge_dst,
+                                           ops.num_nodes)
+                messages = xp.gather_rows(h, ops.edge_src) * alpha[:, None]
+                head_out = xp.scatter_add_rows(messages, agg_dst, total)
+                accum = head_out if accum is None else accum + head_out
+            if conv.num_heads > 1:
+                accum = accum * (1.0 / conv.num_heads)
+            return finish(accum)
+
+        # Linear final layers: pool the penultimate activations first,
+        # then run the layer once over the task graphs (cost / k).
+        pooled = xp.scatter_add_rows(data, segment, total)
+        task_graph = (tasks[0].graph if len(tasks) == 1
+                      else GraphBatch([t.graph for t in tasks]))
+        small_ops = graph_ops(task_graph, data.dtype)
+        if isinstance(conv, GCNConv):
+            h = xp.matmul(pooled, conv.weight.data)
+            return finish(xp.spmm_bias_act(small_ops.norm_adj, h, None, None))
+        if isinstance(conv, SAGEConv):
+            neighbor_mean = xp.spmm(small_ops.row_norm_adj, pooled)
+            out = (xp.matmul(pooled, conv.weight_self.data)
+                   + xp.matmul(neighbor_mean, conv.weight_neigh.data))
+            return finish(out)
+        raise TypeError(  # pragma: no cover - CONV_TYPES is closed
+            f"no fused context fold for {type(conv).__name__}")
 
     def query_logits(self, context: Tensor, query: int, graph: Graph) -> Tensor:
         """ρ_θ(q*, H): membership logits of all nodes for query ``q*``."""
         return self.decoder(context, query, graph)
 
     def query_logits_batch(self, context: Tensor, queries: Sequence[int],
-                           graph: Graph) -> Tensor:
+                           graph: Graph,
+                           accum_dtype: Optional[np.dtype] = None) -> Tensor:
         """ρ_θ applied to a whole batch of queries against one context.
 
         Returns a ``(B, n)`` tensor whose row ``b`` equals
         ``query_logits(context, queries[b], graph)``; the decoder's
         context transform (MLP/GNN variants) runs once for the batch,
         which is what makes Algorithm 2 serve many queries at the cost of
-        roughly one.
+        roughly one.  ``accum_dtype`` widens the final inner-product
+        accumulator (see :meth:`Decoder.inner_products
+        <repro.core.decoders.Decoder.inner_products>`).
         """
         indices = np.asarray(queries, dtype=resolve_index_dtype())
-        return self.decoder.forward_batch(context, indices, graph)
+        return self.decoder.forward_batch(context, indices, graph,
+                                          accum_dtype=accum_dtype)
 
     def query_logits_many(self, context: Tensor,
                           query_batches: Sequence[Sequence[int]],
-                          graph: Graph) -> List[Tensor]:
+                          graph: Graph,
+                          accum_dtype: Optional[np.dtype] = None) -> List[Tensor]:
         """ρ_θ on several query batches sharing ONE context transform.
 
         The serving gateway's coalescing primitive: the decoder's
@@ -274,7 +400,8 @@ class CGNP(Module):
         while paying the transform once instead of once per batch.
         """
         transformed = self.decoder.transform(context, graph)
-        return [self.decoder.inner_products(transformed, batch)
+        return [self.decoder.inner_products(transformed, batch,
+                                            accum_dtype=accum_dtype)
                 for batch in query_batches]
 
     def forward(self, task: Task, query: int,

@@ -168,6 +168,20 @@ class GCNConv(Module):
             out = out + self.bias
         return out
 
+    def fused_forward(self, x: Tensor, ops: GraphOps,
+                      act: Optional[str] = None) -> Tensor:
+        """Inference-only forward with bias + activation fused into the
+        spmm (one CSR pass instead of three output walks).
+
+        Never taped — callers must hold ``no_grad()``; the encoder's
+        dispatch guarantees it.  Bitwise-identical to ``forward``
+        followed by the activation on the numpy/threaded backends.
+        """
+        h = x.matmul(self.weight)
+        bias = None if self.bias is None else self.bias.data
+        return Tensor(get_backend().spmm_bias_act(ops.norm_adj, h.data,
+                                                  bias, act))
+
 
 class GATConv(Module):
     """Graph attention convolution of Velickovic et al.
@@ -192,7 +206,9 @@ class GATConv(Module):
         self.attn_dst = Parameter(init.glorot_uniform((num_heads, out_features), rng))
         self.bias = Parameter(init.zeros_init(out_features)) if bias else None
 
-    def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
+    def _combine_heads(self, x: Tensor, ops: GraphOps) -> Tensor:
+        """Everything up to (excluding) the bias: attention per head,
+        messages scattered to destinations, heads averaged."""
         head_outputs = []
         for head in range(self.num_heads):
             weight = self.weight[head]           # (in, out)
@@ -211,9 +227,23 @@ class GATConv(Module):
             for other in head_outputs[1:]:
                 out = out + other
             out = out * (1.0 / self.num_heads)
+        return out
+
+    def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
+        out = self._combine_heads(x, ops)
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def fused_forward(self, x: Tensor, ops: GraphOps,
+                      act: Optional[str] = None) -> Tensor:
+        """Inference-only forward with the bias + activation epilogue
+        fused into one elementwise pass (the attention path itself has no
+        spmm to fuse into).  Never taped; see ``GCNConv.fused_forward``.
+        """
+        out = self._combine_heads(x, ops)
+        bias = None if self.bias is None else self.bias.data
+        return Tensor(get_backend().bias_act(out.data, bias, act))
 
 
 class SAGEConv(Module):
@@ -234,6 +264,17 @@ class SAGEConv(Module):
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def fused_forward(self, x: Tensor, ops: GraphOps,
+                      act: Optional[str] = None) -> Tensor:
+        """Inference-only forward with the bias + activation epilogue
+        fused into one elementwise pass after the two-matmul mix.
+        Never taped; see ``GCNConv.fused_forward``."""
+        neighbor_mean = spmm(ops.row_norm_adj, x, ops.row_norm_adj_t)
+        out = (x.matmul(self.weight_self)
+               + neighbor_mean.matmul(self.weight_neigh))
+        bias = None if self.bias is None else self.bias.data
+        return Tensor(get_backend().bias_act(out.data, bias, act))
 
 
 CONV_TYPES = {"gcn": GCNConv, "gat": GATConv, "sage": SAGEConv}

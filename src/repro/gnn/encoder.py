@@ -20,10 +20,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..nn import functional as F
-from ..nn.backend import resolve_index_dtype
+from ..nn.backend import fused_inference_enabled, resolve_index_dtype
 from ..nn.layers import Dropout
 from ..nn.module import Module, ModuleList
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_grad_enabled
 from .conv import CONV_TYPES, GraphLike, graph_ops
 
 __all__ = ["GNNEncoder", "GNNNodeClassifier", "make_query_features",
@@ -122,17 +122,58 @@ class GNNEncoder(Module):
         # ELU after attention layers (GAT convention), ReLU otherwise.
         return F.elu(x) if self.conv_name == "gat" else F.relu(x)
 
+    def _fused_active(self) -> bool:
+        """Whether the fused inference kernels may dispatch right now.
+
+        All three conditions are required: the policy switch is on
+        (``REPRO_FUSED`` / ``fused_inference``), the module is in eval
+        mode (dropout is identity, so skipping it is exact), and no
+        gradient tape is recording (the fused kernels have no VJPs).
+        Training numerics can therefore never change under this flag.
+        """
+        return (fused_inference_enabled() and not self.training
+                and not is_grad_enabled())
+
     def forward(self, features: Tensor, graph: GraphLike) -> Tensor:
         # Operators are fetched at the activations' own width, so a
         # float32 forward message-passes over float32 adjacencies.
         ops = graph_ops(graph, features.dtype)
-        x = features
+        return self._run_layers(features, ops, self.num_layers)
+
+    def encode_hidden(self, features: Tensor, graph: GraphLike):
+        """All but the final convolution, plus the graph operators.
+
+        Returns ``(hidden, ops)``.  The fused serving path of
+        :meth:`repro.core.model.CGNP.context_concat` uses this to stop
+        one layer short, aggregate the (cheaper) penultimate activations
+        across support replicas, and fold the final layer with the ⊕
+        reduction.
+        """
+        ops = graph_ops(graph, features.dtype)
+        return self._run_layers(features, ops, self.num_layers - 1), ops
+
+    def _run_layers(self, x: Tensor, ops, count: int) -> Tensor:
+        """The first ``count`` convolutions, fused when inference allows.
+
+        The fused path hands each layer its activation name so bias +
+        activation ride inside the layer kernel; dropout is skipped
+        outright (identity in eval mode).  The unfused path is the exact
+        pre-existing training forward.
+        """
         last = self.num_layers - 1
-        for index, conv in enumerate(self.convs):
-            x = conv(x, ops)
-            if index < last or self.activate_final:
-                x = self._activation(x)
-                x = self.dropouts[index](x)
+        fused = self._fused_active()
+        act_name = "elu" if self.conv_name == "gat" else "relu"
+        for index in range(count):
+            conv = self.convs[index]
+            wants_act = index < last or self.activate_final
+            if fused:
+                x = conv.fused_forward(x, ops,
+                                       act_name if wants_act else None)
+            else:
+                x = conv(x, ops)
+                if wants_act:
+                    x = self._activation(x)
+                    x = self.dropouts[index](x)
         return x
 
 

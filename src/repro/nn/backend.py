@@ -82,15 +82,24 @@ except ImportError:  # pragma: no cover - exercised only on exotic SciPy
 __all__ = [
     "SUPPORTED_DTYPES",
     "SUPPORTED_INDEX_DTYPES",
+    "SUPPORTED_CONTEXT_STORAGE",
+    "FUSED_ACTIVATIONS",
     "Precision",
     "precision",
     "index_precision",
+    "context_storage",
+    "fused_inference",
     "default_dtype",
     "default_index_dtype",
+    "default_context_storage",
     "set_default_dtype",
     "set_default_index_dtype",
+    "set_default_context_storage",
+    "set_fused_inference",
+    "fused_inference_enabled",
     "resolve_dtype",
     "resolve_index_dtype",
+    "resolve_context_storage",
     "index_dtype_for",
     "as_index_array",
     "ArrayBackend",
@@ -111,6 +120,18 @@ SUPPORTED_DTYPES = ("float32", "float64")
 
 #: The index widths sparse structure supports end to end.
 SUPPORTED_INDEX_DTYPES = ("int32", "int64")
+
+#: The widths the serving engine may keep cached context matrices at.
+#: ``full`` stores them at the compute dtype; the narrower widths halve
+#: (or quarter) the resident bytes and dequantise back to the compute
+#: dtype on every decode.
+SUPPORTED_CONTEXT_STORAGE = ("full", "float32", "float16", "int8")
+
+#: The activation epilogues the fused kernels understand.  ``relu`` is
+#: bitwise against ``np.maximum(x, 0.0)``; ``elu`` matches
+#: :func:`repro.nn.functional.elu` exactly on the numpy path and to
+#: ≤1e-12 relative on JIT paths (transcendental ulps).
+FUSED_ACTIVATIONS = (None, "relu", "elu")
 
 DTypeLike = Union[str, type, np.dtype, "Precision"]
 
@@ -211,6 +232,39 @@ def _index_dtype_from_env() -> np.dtype:
             f"invalid REPRO_INDEX_DTYPE environment variable: {exc}") from exc
 
 
+def _canonical_context_storage(value: str) -> str:
+    """Validate and normalise a context-storage policy name."""
+    key = str(value).strip().lower()
+    if key not in SUPPORTED_CONTEXT_STORAGE:
+        raise ValueError(
+            f"unsupported context storage {value!r}; choose from "
+            f"{SUPPORTED_CONTEXT_STORAGE}")
+    return key
+
+
+def _context_storage_from_env() -> str:
+    """The process default from ``REPRO_CONTEXT_STORAGE`` (default full)."""
+    value = os.environ.get("REPRO_CONTEXT_STORAGE", "full")
+    try:
+        return _canonical_context_storage(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"invalid REPRO_CONTEXT_STORAGE environment variable: "
+            f"{exc}") from exc
+
+
+def _fused_from_env() -> bool:
+    """The process default from ``REPRO_FUSED`` (default on)."""
+    value = os.environ.get("REPRO_FUSED", "1").strip().lower()
+    if value in ("1", "true", "on", "yes"):
+        return True
+    if value in ("0", "false", "off", "no"):
+        return False
+    raise ValueError(
+        f"invalid REPRO_FUSED environment variable: {value!r} "
+        f"(use 1/0, on/off, true/false)")
+
+
 #: Process-wide default precision; ``precision(...)`` overrides are
 #: per-thread, but this base is shared so ``set_default_dtype`` is
 #: visible from worker threads too.
@@ -219,6 +273,13 @@ _PROCESS_DEFAULT_PRECISION = _precision_from_env()
 #: Process-wide default index width (same sharing rules as above).
 _PROCESS_DEFAULT_INDEX_DTYPE = _index_dtype_from_env()
 
+#: Process-wide default cache width for serving contexts.
+_PROCESS_DEFAULT_CONTEXT_STORAGE = _context_storage_from_env()
+
+#: Process-wide switch for the fused inference kernels (the kill switch
+#: is ``REPRO_FUSED=0``; fusion never applies when gradients are on).
+_PROCESS_FUSED_INFERENCE = _fused_from_env()
+
 
 class _PolicyState(threading.local):
     """Per-thread stacks of scoped policy overrides."""
@@ -226,6 +287,8 @@ class _PolicyState(threading.local):
     def __init__(self):
         self.stack = []
         self.index_stack = []
+        self.storage_stack = []
+        self.fused_stack = []
 
 
 _POLICY = _PolicyState()
@@ -259,6 +322,87 @@ def set_default_index_dtype(dtype: DTypeLike) -> None:
     """Replace the process-wide default index width (all threads)."""
     global _PROCESS_DEFAULT_INDEX_DTYPE
     _PROCESS_DEFAULT_INDEX_DTYPE = _canonical_index_dtype(dtype)
+
+
+def default_context_storage() -> str:
+    """The ambient context-storage policy (innermost ``context_storage``
+    context wins, falling back to the process-wide default)."""
+    stack = _POLICY.storage_stack
+    return stack[-1] if stack else _PROCESS_DEFAULT_CONTEXT_STORAGE
+
+
+def set_default_context_storage(storage: str) -> None:
+    """Replace the process-wide default context cache width (all threads)."""
+    global _PROCESS_DEFAULT_CONTEXT_STORAGE
+    _PROCESS_DEFAULT_CONTEXT_STORAGE = _canonical_context_storage(storage)
+
+
+def resolve_context_storage(storage: Optional[str] = None) -> str:
+    """``storage`` normalised, or the ambient policy when ``None``.
+
+    The one call every context-caching site makes (the serving engine,
+    its ``from_bundle`` constructor and the CLI), mirroring
+    :func:`resolve_dtype` for element widths.
+
+    >>> resolve_context_storage()
+    'full'
+    >>> with context_storage("float16"):
+    ...     resolve_context_storage()
+    'float16'
+    >>> resolve_context_storage("int8")
+    'int8'
+    """
+    if storage is None:
+        return default_context_storage()
+    return _canonical_context_storage(storage)
+
+
+@contextlib.contextmanager
+def context_storage(storage: str) -> Iterator[str]:
+    """Scoped context-storage override:
+    ``with context_storage("int8"): ...``."""
+    resolved = _canonical_context_storage(storage)
+    _POLICY.storage_stack.append(resolved)
+    try:
+        yield resolved
+    finally:
+        _POLICY.storage_stack.pop()
+
+
+def fused_inference_enabled() -> bool:
+    """Whether the fused inference kernels are enabled right now.
+
+    This is a *policy*, not a capability probe: the encoder additionally
+    requires eval mode and gradients off before it dispatches the fused
+    path, so training numerics are never affected by this switch.
+
+    >>> fused_inference_enabled()
+    True
+    >>> with fused_inference(False):
+    ...     fused_inference_enabled()
+    False
+    """
+    stack = _POLICY.fused_stack
+    return stack[-1] if stack else _PROCESS_FUSED_INFERENCE
+
+
+def set_fused_inference(enabled: bool) -> None:
+    """Flip the process-wide fused-inference switch (all threads)."""
+    global _PROCESS_FUSED_INFERENCE
+    _PROCESS_FUSED_INFERENCE = bool(enabled)
+
+
+@contextlib.contextmanager
+def fused_inference(enabled: bool = True) -> Iterator[bool]:
+    """Scoped fused-inference override:
+    ``with fused_inference(False): ...`` forces the unfused reference
+    path even in eval/no-grad mode (the A/B lever benchmarks and parity
+    tests use)."""
+    _POLICY.fused_stack.append(bool(enabled))
+    try:
+        yield bool(enabled)
+    finally:
+        _POLICY.fused_stack.pop()
 
 
 @contextlib.contextmanager
@@ -350,6 +494,39 @@ def as_index_array(indices) -> np.ndarray:
     return np.asarray(indices, dtype=resolve_index_dtype())
 
 
+def _check_act(act: Optional[str]) -> None:
+    if act not in FUSED_ACTIVATIONS:
+        raise ValueError(
+            f"unsupported fused activation {act!r}; choose from "
+            f"{FUSED_ACTIVATIONS}")
+
+
+def _apply_act_inplace(out: np.ndarray, act: Optional[str]) -> None:
+    """Apply a fused activation epilogue to an array the caller owns.
+
+    ``relu`` is ``np.maximum(x, 0.0)`` (bitwise against ``Tensor.relu``);
+    ``elu`` is the exact alpha=1 formula of
+    :func:`repro.nn.functional.elu` — ``where(x > 0, x, exp(min(x, 0)) -
+    1)`` — so the fused and unfused encoder forwards agree bitwise on
+    the numpy path.
+    """
+    if act == "relu":
+        np.maximum(out, 0.0, out=out)
+    elif act == "elu":
+        np.copyto(out, np.where(out > 0,
+                                out, np.exp(np.minimum(out, 0.0)) - 1.0))
+
+
+def _apply_bias_act_inplace(out: np.ndarray, bias: Optional[np.ndarray],
+                            act: Optional[str]) -> None:
+    """Bias-add then activation, mutating ``out`` (a freshly-computed
+    product the caller owns — never a caller-visible input)."""
+    _check_act(act)
+    if bias is not None:
+        out += bias
+    _apply_act_inplace(out, act)
+
+
 class ArrayBackend:
     """Protocol for the dense/sparse kernels the autograd engine dispatches.
 
@@ -392,9 +569,39 @@ class ArrayBackend:
         """Dense (possibly batched) matrix product."""
         raise NotImplementedError
 
+    def bias_act(self, x: np.ndarray, bias: Optional[np.ndarray] = None,
+                 act: Optional[str] = None) -> np.ndarray:
+        """Fused ``act(x + bias)`` epilogue (one elementwise pass).
+
+        ``bias`` broadcasts over rows (or is ``None``); ``act`` is one of
+        :data:`FUSED_ACTIVATIONS`.  The input is never mutated.  Numerics
+        contract: bitwise-identical to the unfused ``x + bias`` followed
+        by the reference activation on the numpy path; JIT backends may
+        differ on the ``elu`` transcendental by ulps (≤1e-12 relative).
+        Serves the inference-mode epilogue of layers whose main kernel is
+        dense (GAT's head combination, SAGE's linear mix).
+        """
+        raise NotImplementedError
+
     # -- sparse kernels -------------------------------------------------
     def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
         """Sparse @ dense product; ``matrix`` is a constant operator."""
+        raise NotImplementedError
+
+    def spmm_bias_act(self, matrix: sp.spmatrix, dense: np.ndarray,
+                      bias: Optional[np.ndarray] = None,
+                      act: Optional[str] = None) -> np.ndarray:
+        """Fused ``act(matrix @ dense + bias)`` — one pass over the CSR.
+
+        The serving hot path of the GCN layer: the unfused form walks the
+        output array three times (spmm accumulate, bias add, activation);
+        backends fuse the bias/activation epilogue into the row loop (or
+        its chunk epilogue) so each output row is touched once while it
+        is still cache-hot.  Same numerics contract as :meth:`bias_act`:
+        ``relu`` and the bias add are bitwise against the unfused
+        reference, ``elu`` is exact on numpy and ≤1e-12 relative on JIT
+        backends.  ``act=None, bias=None`` degrades to :meth:`spmm`.
+        """
         raise NotImplementedError
 
     def to_operator(self, matrix: sp.spmatrix,
@@ -453,8 +660,28 @@ class NumpyBackend(ArrayBackend):
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.matmul(a, b)
 
+    def bias_act(self, x: np.ndarray, bias: Optional[np.ndarray] = None,
+                 act: Optional[str] = None) -> np.ndarray:
+        _check_act(act)
+        if bias is not None:
+            x = x + bias                   # fresh array; finish in place
+            _apply_act_inplace(x, act)
+            return x
+        if act == "relu":
+            return np.maximum(x, 0.0)
+        if act == "elu":
+            return np.where(x > 0, x, np.exp(np.minimum(x, 0.0)) - 1.0)
+        return x
+
     def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
         return matrix @ dense
+
+    def spmm_bias_act(self, matrix: sp.spmatrix, dense: np.ndarray,
+                      bias: Optional[np.ndarray] = None,
+                      act: Optional[str] = None) -> np.ndarray:
+        out = matrix @ dense               # fresh array; epilogue in place
+        _apply_bias_act_inplace(out, bias, act)
+        return out
 
     def to_operator(self, matrix: sp.spmatrix,
                     dtype: Optional[DTypeLike] = None,
@@ -529,7 +756,9 @@ class ThreadedBackend(NumpyBackend):
 
     Below ``serial_rows`` rows the partitioning overhead outweighs the
     win and ``spmm`` runs the kernel serially (still skipping SciPy's
-    per-call dispatch/validation).  Everything else (dense matmul, array
+    per-call dispatch/validation); above it the chunk count is capped at
+    ``rows // serial_rows`` so every chunk amortises its dispatch, even
+    when ``num_threads`` is large.  Everything else (dense matmul, array
     creation, RNG) is inherited from :class:`NumpyBackend`.
 
     Parameters
@@ -537,7 +766,17 @@ class ThreadedBackend(NumpyBackend):
     num_threads:
         Worker count; default ``REPRO_NUM_THREADS`` or ``os.cpu_count()``.
     serial_rows:
-        Row count under which spmm stays single-threaded.
+        Minimum rows per chunk before a thread is worth dispatching.
+        The default is measured, not guessed: a
+        ``ThreadPoolExecutor`` submit+result round trip costs ≈11 µs on
+        this stack while ``scipy``'s ``csr_matvecs`` kernel retires a
+        degree-8, width-128 row in ≈0.97 µs (float64) / ≈0.55 µs
+        (float32) — see ``benchmarks/BENCH_threaded.json`` and the
+        ``bench-multicore`` CI artifacts.  Requiring each chunk to
+        amortise its dispatch ≈8x puts the crossover at ≈360 rows
+        (float64) to ≈650 rows (float32); 512 splits the difference.
+        The old default of 2048 left common serving operators
+        (≤2000-node task graphs) permanently single-threaded.
 
     >>> rng = np.random.default_rng(0)
     >>> operator = sp.csr_matrix((rng.random((64, 64)) < 0.2)
@@ -552,7 +791,7 @@ class ThreadedBackend(NumpyBackend):
     name = "threaded"
 
     def __init__(self, num_threads: Optional[int] = None,
-                 serial_rows: int = 2048):
+                 serial_rows: int = 512):
         if num_threads is None:
             env = os.environ.get("REPRO_NUM_THREADS", "")
             num_threads = int(env) if env else (os.cpu_count() or 1)
@@ -604,8 +843,8 @@ class ThreadedBackend(NumpyBackend):
                 matrix.indices, matrix.data, dense.reshape(-1),
                 out[lo:hi].reshape(-1))
 
-    def _row_bounds(self, matrix: sp.csr_matrix) -> np.ndarray:
-        """Chunk boundaries balancing nnz across ``num_threads`` chunks.
+    def _row_bounds(self, matrix: sp.csr_matrix, chunks: int) -> np.ndarray:
+        """Chunk boundaries balancing nnz across ``chunks`` chunks.
 
         Block-diagonal operators carry their collation offsets
         (``block_offsets``); cutting only at block boundaries keeps each
@@ -615,8 +854,7 @@ class ThreadedBackend(NumpyBackend):
         """
         rows = matrix.shape[0]
         nnz = int(matrix.indptr[-1])
-        targets = (np.arange(1, self.num_threads, dtype=np.int64)
-                   * nnz) // self.num_threads
+        targets = (np.arange(1, chunks, dtype=np.int64) * nnz) // chunks
         blocks = getattr(matrix, "block_offsets", None)
         if blocks is not None and len(blocks) > 2:
             candidates = np.asarray(blocks, dtype=np.int64)
@@ -626,25 +864,40 @@ class ThreadedBackend(NumpyBackend):
             cuts = np.searchsorted(matrix.indptr, targets).astype(np.int64)
         return np.unique(np.concatenate([[0], cuts, [rows]]))
 
+    def _chunk_count(self, rows: int) -> int:
+        """How many chunks ``rows`` rows justify.
+
+        Capped at ``rows // serial_rows`` so each dispatched chunk keeps
+        at least ``serial_rows`` rows — the measured ≈8x amortisation of
+        the pool's ≈11 µs submit round trip (see the class docstring) —
+        rather than letting a high thread count shred a mid-sized
+        operator into dispatch-dominated slivers.
+        """
+        return min(self.num_threads, rows // self.serial_rows)
+
+    def _spmm_supported(self, matrix, dense: np.ndarray) -> bool:
+        return not (_csr_kernels is None
+                    or getattr(matrix, "format", None) != "csr"
+                    or matrix.dtype != dense.dtype
+                    or matrix.indices.dtype != matrix.indptr.dtype
+                    or dense.ndim not in (1, 2)
+                    or matrix.shape[1] != dense.shape[0]
+                    or not dense.flags.c_contiguous)
+
     def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
         rows = matrix.shape[0]
-        if (_csr_kernels is None
-                or getattr(matrix, "format", None) != "csr"
-                or matrix.dtype != dense.dtype
-                or matrix.indices.dtype != matrix.indptr.dtype
-                or dense.ndim not in (1, 2)
-                or matrix.shape[1] != dense.shape[0]
-                or not dense.flags.c_contiguous):
+        if not self._spmm_supported(matrix, dense):
             # Anything the raw kernels can't take verbatim goes through
             # scipy's own dispatch (which handles upcasts, layouts, and
             # raises the dimension-mismatch error for bad shapes — the
             # raw kernels would read out of bounds instead).
             return matrix @ dense
         out = np.zeros((rows,) + dense.shape[1:], dtype=dense.dtype)
-        if self.num_threads == 1 or rows < self.serial_rows:
+        chunks = self._chunk_count(rows)
+        if chunks <= 1:
             self._kernel_rows(matrix, dense, out, 0, rows)
             return out
-        bounds = self._row_bounds(matrix)
+        bounds = self._row_bounds(matrix, chunks)
         if len(bounds) < 3:
             self._kernel_rows(matrix, dense, out, 0, rows)
             return out
@@ -654,6 +907,50 @@ class ThreadedBackend(NumpyBackend):
                    for lo, hi in zip(bounds[:-2], bounds[1:-1])]
         # The caller computes the last chunk itself instead of idling.
         self._kernel_rows(matrix, dense, out, int(bounds[-2]), int(bounds[-1]))
+        for future in futures:
+            future.result()
+        return out
+
+    def _fused_rows(self, matrix: sp.csr_matrix, dense: np.ndarray,
+                    out: np.ndarray, lo: int, hi: int,
+                    bias: Optional[np.ndarray], act: Optional[str]) -> None:
+        """One chunk of the fused kernel: spmm rows, then the epilogue on
+        the same cache-hot slice before the worker moves on."""
+        self._kernel_rows(matrix, dense, out, lo, hi)
+        view = out[lo:hi]
+        if bias is not None:
+            view += bias
+        _apply_act_inplace(view, act)
+
+    def spmm_bias_act(self, matrix: sp.spmatrix, dense: np.ndarray,
+                      bias: Optional[np.ndarray] = None,
+                      act: Optional[str] = None) -> np.ndarray:
+        _check_act(act)
+        rows = matrix.shape[0]
+        if (not self._spmm_supported(matrix, dense)
+                or dense.ndim != 2
+                or (bias is not None
+                    and not (bias.ndim == 1
+                             and bias.shape[0] == dense.shape[1]
+                             and bias.dtype == dense.dtype))):
+            out = self.spmm(matrix, dense)   # fresh in every branch
+            _apply_bias_act_inplace(out, bias, act)
+            return out
+        out = np.zeros((rows, dense.shape[1]), dtype=dense.dtype)
+        chunks = self._chunk_count(rows)
+        if chunks <= 1:
+            self._fused_rows(matrix, dense, out, 0, rows, bias, act)
+            return out
+        bounds = self._row_bounds(matrix, chunks)
+        if len(bounds) < 3:
+            self._fused_rows(matrix, dense, out, 0, rows, bias, act)
+            return out
+        pool = self._executor()
+        futures = [pool.submit(self._fused_rows, matrix, dense, out,
+                               int(lo), int(hi), bias, act)
+                   for lo, hi in zip(bounds[:-2], bounds[1:-1])]
+        self._fused_rows(matrix, dense, out, int(bounds[-2]),
+                         int(bounds[-1]), bias, act)
         for future in futures:
             future.result()
         return out
@@ -821,6 +1118,61 @@ class NumbaBackend(NumpyBackend):
                                     matrix.data, dense, out)
         return out
 
+    #: Activation dispatch codes of the fused JIT kernels.
+    _ACT_CODES = {None: 0, "relu": 1, "elu": 2}
+
+    def _bias_supported(self, bias: Optional[np.ndarray],
+                        width: int, dtype: np.dtype) -> bool:
+        return (bias is None
+                or (bias.ndim == 1 and bias.shape[0] == width
+                    and bias.dtype == dtype and bias.flags.c_contiguous))
+
+    def bias_act(self, x: np.ndarray, bias: Optional[np.ndarray] = None,
+                 act: Optional[str] = None) -> np.ndarray:
+        _check_act(act)
+        if (x.ndim != 2 or not self._supported(x)
+                or not self._bias_supported(bias, x.shape[1], x.dtype)):
+            return super().bias_act(x, bias, act)
+        out = np.empty_like(x)
+        bias_arr = bias if bias is not None else np.empty(0, dtype=x.dtype)
+        self._kernels.bias_act_2d(x, bias_arr, bias is not None,
+                                  self._ACT_CODES[act], out)
+        return out
+
+    def spmm_bias_act(self, matrix: sp.spmatrix, dense: np.ndarray,
+                      bias: Optional[np.ndarray] = None,
+                      act: Optional[str] = None) -> np.ndarray:
+        _check_act(act)
+        if (getattr(matrix, "format", None) != "csr"
+                or matrix.dtype != dense.dtype
+                or matrix.indices.dtype != matrix.indptr.dtype
+                or not self._index_supported(matrix.indices)
+                or dense.ndim != 2
+                or matrix.shape[1] != dense.shape[0]
+                or not self._supported(matrix.data, dense)
+                or not self._bias_supported(bias, dense.shape[1],
+                                            dense.dtype)):
+            return super().spmm_bias_act(matrix, dense, bias, act)
+        out = np.zeros((matrix.shape[0], dense.shape[1]), dtype=dense.dtype)
+        bias_arr = (bias if bias is not None
+                    else np.empty(0, dtype=dense.dtype))
+        act_code = self._ACT_CODES[act]
+        blocks = getattr(matrix, "block_offsets", None)
+        # Same full-span rule as spmm: a partial annotation must not
+        # silently skip the uncovered rows' epilogue.
+        if (blocks is not None and len(blocks) > 2
+                and int(blocks[0]) == 0
+                and int(blocks[-1]) == matrix.shape[0]):
+            self._kernels.spmm_bias_act_blocks(
+                matrix.indptr, matrix.indices, matrix.data, dense,
+                np.asarray(blocks, dtype=np.int64), bias_arr,
+                bias is not None, act_code, out)
+        else:
+            self._kernels.spmm_bias_act_rows(
+                matrix.indptr, matrix.indices, matrix.data, dense,
+                bias_arr, bias is not None, act_code, out)
+        return out
+
     def gather_rows(self, source: np.ndarray,
                     indices: np.ndarray) -> np.ndarray:
         if (source.ndim not in (1, 2) or indices.ndim != 1
@@ -873,11 +1225,31 @@ class NumbaBackend(NumpyBackend):
         return out
 
 
+def _make_auto_backend(**options) -> ArrayBackend:
+    """The measured default backend choice for this machine.
+
+    Derived from the committed perf records rather than guessed: the
+    1-CPU container record (``benchmarks/BENCH_threaded.json``) shows
+    the partitioned spmm at 0.85–1.0x on a single core (pure dispatch
+    overhead), while the ``bench-multicore`` CI job asserts ≥1.3x on
+    every 2+-core runner.  So ``auto`` is :class:`ThreadedBackend` when
+    the machine has 2+ cores and :class:`NumpyBackend` otherwise
+    (``options`` such as ``num_threads`` are forwarded to the threaded
+    backend and ignored on single-core hosts, where they have nothing to
+    size).  The instance keeps its concrete name (``"threaded"`` /
+    ``"numpy"``), so provenance records the choice that actually ran.
+    """
+    if (os.cpu_count() or 1) >= 2:
+        return ThreadedBackend(**options)
+    return NumpyBackend()
+
+
 #: Registered backend factories, keyed by name.
 _BACKEND_FACTORIES: Dict[str, Callable[..., ArrayBackend]] = {
     "numpy": NumpyBackend,
     "threaded": ThreadedBackend,
     "numba": NumbaBackend,
+    "auto": _make_auto_backend,
 }
 
 #: Optional per-backend installation probes; names without one are
@@ -898,7 +1270,7 @@ def available_backends() -> Dict[str, bool]:
     raises ``ImportError`` with the install hint.
 
     >>> backend_names()
-    ('numba', 'numpy', 'threaded')
+    ('auto', 'numba', 'numpy', 'threaded')
     >>> available_backends()["numpy"]
     True
     """

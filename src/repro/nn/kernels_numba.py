@@ -29,6 +29,12 @@ backend wherever the reference order of operations can be reproduced:
   for ``GraphBatch`` operators carrying ``block_offsets``) are
   independent, so they parallelise with ``prange`` without changing
   results.
+* ``spmm_bias_act_rows`` / ``spmm_bias_act_blocks`` / ``bias_act_2d``
+  fuse the bias-add + activation epilogue into the row loop (one output
+  pass instead of three array walks).  The accumulation, bias add and
+  relu branches are **bitwise identical** to the unfused reference; the
+  elu branch uses ``exp`` and is float-tolerance like
+  ``segment_softmax``.
 * ``gather_rows_*`` copies rows — exact by construction.
 * ``scatter_add_*`` accumulates in edge order, matching
   ``np.add.at`` — bitwise identical, hence **serial** (a parallel
@@ -57,6 +63,9 @@ __all__ = [
     "spmm_rows",
     "spmm_blocks",
     "spmm_vec",
+    "spmm_bias_act_rows",
+    "spmm_bias_act_blocks",
+    "bias_act_2d",
     "gather_rows_1d",
     "gather_rows_2d",
     "scatter_add_1d",
@@ -135,6 +144,94 @@ def spmm_blocks(indptr, indices, data, dense, block_offsets, out):  # pragma: no
                 column = indices[jj]
                 for k in range(width):
                     out[i, k] += value * dense[column, k]
+
+
+@njit(inline="always", cache=True)
+def _epilogue_row(out, i, bias, has_bias, act_code):  # pragma: no cover - JIT
+    """Bias + activation applied to ``out[i, :]`` while it is cache-hot.
+
+    ``act_code``: 0 none, 1 relu, 2 elu.  The relu branch reproduces
+    ``np.maximum(v, 0.0)`` bitwise (including -0.0 -> +0.0 and NaN
+    propagation); elu matches ``where(v > 0, v, exp(min(v, 0)) - 1)`` up
+    to the transcendental's ulps.
+    """
+    width = out.shape[1]
+    if has_bias:
+        for k in range(width):
+            out[i, k] += bias[k]
+    if act_code == 1:
+        for k in range(width):
+            v = out[i, k]
+            if not v > 0.0:
+                if v == v:              # NaN stays, like np.maximum
+                    out[i, k] = 0.0
+    elif act_code == 2:
+        for k in range(width):
+            v = out[i, k]
+            if not v > 0.0:
+                out[i, k] = np.exp(np.minimum(v, 0.0)) - 1.0
+
+
+@njit(parallel=True, cache=True)
+def spmm_bias_act_rows(indptr, indices, data, dense, bias, has_bias,
+                       act_code, out):  # pragma: no cover - JIT
+    """Fused ``act(A @ dense + bias)`` over CSR rows — one output pass.
+
+    Per-row accumulation is identical to :func:`spmm_rows`; the epilogue
+    runs on each row before the loop advances, so the output array is
+    walked once instead of three times.  ``out`` must be zeroed.
+    """
+    rows = out.shape[0]
+    width = dense.shape[1]
+    for i in prange(rows):
+        for jj in range(indptr[i], indptr[i + 1]):
+            value = data[jj]
+            column = indices[jj]
+            for k in range(width):
+                out[i, k] += value * dense[column, k]
+        _epilogue_row(out, i, bias, has_bias, act_code)
+
+
+@njit(parallel=True, cache=True)
+def spmm_bias_act_blocks(indptr, indices, data, dense, block_offsets, bias,
+                         has_bias, act_code, out):  # pragma: no cover - JIT
+    """Fused spmm epilogue, parallel over ``stack_csr`` collation blocks
+    (same locality argument as :func:`spmm_blocks`)."""
+    blocks = block_offsets.shape[0] - 1
+    width = dense.shape[1]
+    for b in prange(blocks):
+        for i in range(block_offsets[b], block_offsets[b + 1]):
+            for jj in range(indptr[i], indptr[i + 1]):
+                value = data[jj]
+                column = indices[jj]
+                for k in range(width):
+                    out[i, k] += value * dense[column, k]
+            _epilogue_row(out, i, bias, has_bias, act_code)
+
+
+@njit(parallel=True, cache=True)
+def bias_act_2d(x, bias, has_bias, act_code, out):  # pragma: no cover - JIT
+    """Fused elementwise ``act(x + bias)`` into a preallocated ``out``.
+
+    The dense-layer epilogue (GAT head combination, SAGE linear mix):
+    one read of ``x`` and one write of ``out`` instead of two
+    intermediate arrays.  Same numerics contract as
+    :func:`_epilogue_row`.
+    """
+    rows, width = x.shape
+    for i in prange(rows):
+        for k in range(width):
+            v = x[i, k]
+            if has_bias:
+                v = v + bias[k]
+            if act_code == 1:
+                if not v > 0.0:
+                    if v == v:
+                        v = 0.0
+            elif act_code == 2:
+                if not v > 0.0:
+                    v = np.exp(np.minimum(v, 0.0)) - 1.0
+            out[i, k] = v
 
 
 @njit(parallel=True, cache=True)
@@ -236,6 +333,13 @@ def warmup(elem_dtype=np.float64, index_dtype=np.int64) -> None:
     spmm_blocks(indptr, indices, data, dense,
                 np.array([0, 1, 2], dtype=np.int64), out)
     spmm_vec(indptr, indices, data, dense[:, 0].copy(), out[:, 0].copy())
+    bias = np.zeros(2, dtype=elem)
+    spmm_bias_act_rows(indptr, indices, data, dense, bias, True, 1,
+                       np.zeros((2, 2), dtype=elem))
+    spmm_bias_act_blocks(indptr, indices, data, dense,
+                         np.array([0, 1, 2], dtype=np.int64), bias, True, 1,
+                         np.zeros((2, 2), dtype=elem))
+    bias_act_2d(dense, bias, True, 2, np.zeros((2, 2), dtype=elem))
     edge = np.array([0, 1], dtype=index)
     gather_rows_2d(dense, edge, out)
     gather_rows_1d(dense[:, 0].copy(), edge, np.zeros(2, dtype=elem))

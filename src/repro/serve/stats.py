@@ -289,7 +289,16 @@ class ServeStats(EngineStats):
                 "Context LRU misses.", self.context_cache_misses)
         counter("repro_engine_contexts_evicted_total",
                 "Context LRU evictions.", self.contexts_evicted)
+        gauge("repro_engine_context_cache_bytes",
+              "Resident bytes of the context LRU (payloads + scales).",
+              self.context_cache_bytes)
+        counter("repro_engine_contexts_bytes_evicted_total",
+                "Cumulative bytes reclaimed by context LRU eviction.",
+                self.contexts_bytes_evicted)
         gauge("repro_engine_backend_info",
               "Active array backend (value is always 1).", 1,
               label=f'{{backend="{self.backend}"}}')
+        gauge("repro_engine_context_storage_info",
+              "Context cache storage width (value is always 1).", 1,
+              label=f'{{storage="{self.context_storage}"}}')
         return "\n".join(lines) + "\n"

@@ -22,7 +22,8 @@ from repro.utils import make_rng
 #: equivalence bars exact.
 _FLOAT64_PINNED_MODULES = {"test_tensor", "test_graph_batch", "test_api",
                            "test_loss_sparse", "test_init_misc",
-                           "test_properties", "test_index_dtype"}
+                           "test_properties", "test_index_dtype",
+                           "test_fused_kernels", "test_context_storage"}
 
 
 def pytest_configure(config):
