@@ -43,6 +43,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from conftest import peak_rss_bytes
 from repro.api import CommunitySearchEngine, ModelBundle
 from repro.core import CGNP, CGNPConfig, task_batch_loss
 from repro.datasets import clear_cache, load_dataset
@@ -309,6 +310,7 @@ def run_benchmark(params: Dict, out_path: str,
             "JIT kernels (spmm_bias_act_rows/_blocks, bias_act_2d) were "
             "exercised only through their tested numpy-fallback path; "
             "CI's numba matrix entry runs them compiled.")
+    record["peak_rss_bytes"] = peak_rss_bytes()
     with open(out_path, "w") as handle:
         json.dump(record, handle, indent=2)
     print(f"  wrote {out_path}")

@@ -43,6 +43,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from conftest import peak_rss_bytes
 from repro.api import CommunitySearchEngine, ModelBundle
 from repro.core import CGNP, CGNPConfig, task_batch_loss
 from repro.datasets import clear_cache, load_dataset
@@ -210,6 +211,7 @@ def run_benchmark(params: Dict, out_path: str) -> Dict:
         "gateway_p99_wins": p99_wins,
         "qps_ratio_at_saturation":
             saturation["qps_ratio_gateway_vs_baseline"],
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     with open(out_path, "w") as handle:
         json.dump(record, handle, indent=2)

@@ -36,6 +36,24 @@ def profile() -> ExperimentProfile:
     return bench_profile()
 
 
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process so far, in bytes.
+
+    ``resource.getrusage`` reports ``ru_maxrss`` in kilobytes on Linux
+    and bytes on macOS; normalised here so every benchmark record carries
+    one comparable memory axis.  Returns 0 where the ``resource`` module
+    is unavailable (Windows) — records stay loadable everywhere.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
 def print_paper_shape_note() -> None:
     print(
         "\nNOTE: absolute numbers come from the synthetic substrate "

@@ -42,6 +42,8 @@ import numpy as np
 
 from ..core.infer import validate_queries
 from ..core.model import CGNP
+from ..graph.features import feature_dimension
+from ..graph.shard import ShardedGraph, graph_memory_profile
 from ..nn.backend import get_backend, resolve_context_storage
 from ..nn.tensor import Tensor, no_grad
 from ..tasks.task import Task
@@ -130,6 +132,12 @@ class EngineStats:
     the cumulative bytes reclaimed by LRU eviction; together with
     ``context_storage`` (the engine's cache width policy) they make the
     RAM-vs-capacity trade-off of compacted storage observable.
+
+    ``graph_resident_bytes`` / ``shard_count`` describe the *active*
+    task's graph at snapshot time: the estimated anonymous-RAM footprint
+    of its operators + feature working set, and its row-shard count
+    (1 for a plain dense graph, 0 when no task is attached) — see
+    :func:`repro.graph.shard.graph_memory_profile`.
     """
 
     queries_served: int = 0
@@ -147,6 +155,8 @@ class EngineStats:
     last_query_at: Optional[float] = None
     backend: str = ""
     context_storage: str = ""
+    graph_resident_bytes: int = 0
+    shard_count: int = 0
 
     @property
     def queries_per_second(self) -> float:
@@ -364,6 +374,11 @@ class CommunitySearchEngine:
         Mixing dtypes is almost always an accident (tasks materialised
         under different precision policies), so fail loudly instead.
         """
+        if all(isinstance(task.graph, ShardedGraph) for task in tasks):
+            # Sharded tasks encode per task (no cross-task concatenation),
+            # and materialising features here would defeat the memmap
+            # residency bound — nothing to check.
+            return
         config = self.model.config
         dtypes = {task.features(config.use_attributes,
                                 config.use_structural).dtype.name
@@ -382,8 +397,14 @@ class CommunitySearchEngine:
                 f"attach expects a repro.tasks.Task (a graph plus its "
                 f"support shots), got {type(task).__name__}")
         config = self.model.config
-        feature_dim = task.features(config.use_attributes,
-                                    config.use_structural).shape[1]
+        # Schema-check from the graph's metadata, never by materialising
+        # the (possibly multi-gigabyte, memmap-backed) feature matrix:
+        # feature_dimension computes exactly features(...).shape[1].
+        use_attrs = (task.use_attributes if config.use_attributes is None
+                     else config.use_attributes)
+        use_struct = (task.use_structural if config.use_structural is None
+                      else config.use_structural)
+        feature_dim = feature_dimension(task.graph, use_attrs, use_struct)
         if feature_dim != self.model.in_dim:
             raise ValueError(
                 f"task produces {feature_dim}-dim node features but the "
@@ -564,12 +585,16 @@ class CommunitySearchEngine:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """A snapshot of the serving counters (plus the active backend
-        and the cache width policy)."""
+        """A snapshot of the serving counters (plus the active backend,
+        the cache width policy and the active graph's memory profile)."""
         with self._lock:
+            resident, shards = ((0, 0) if self._active is None
+                                else graph_memory_profile(self._active.graph))
             return dataclasses.replace(self._stats,
                                        backend=get_backend().name,
-                                       context_storage=self.context_storage)
+                                       context_storage=self.context_storage,
+                                       graph_resident_bytes=int(resident),
+                                       shard_count=int(shards))
 
     def reset_stats(self) -> None:
         with self._lock:

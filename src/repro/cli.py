@@ -84,6 +84,44 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
                              "i.e. int32)")
 
 
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    """Graph-layout flags shared by ``train``/``query``/``serve``.
+
+    Default off: tasks stay on plain dense graphs.  ``--shards`` splits
+    every task graph into that many contiguous CSR row shards and
+    ``--memmap-dir`` moves feature/buffer storage into memory-mapped
+    files there, bounding anonymous RAM by the shard working set (see
+    docs/sharding.md).  Either flag alone activates sharding
+    (``--memmap-dir`` implies one shard).
+    """
+    parser.add_argument("--shards", type=int, default=None,
+                        help="partition each task graph into N contiguous "
+                             "CSR row shards and serve through the "
+                             "shard-streaming encoder (bitwise-identical "
+                             "results; default: unsharded)")
+    parser.add_argument("--memmap-dir", default=None,
+                        help="directory for np.memmap feature/buffer "
+                             "storage of sharded graphs (default: "
+                             "in-memory storage)")
+
+
+def _shard_task(task, args: argparse.Namespace):
+    """Re-home a sampled task on a :class:`ShardedGraph` when requested."""
+    if not getattr(args, "shards", None) and not getattr(args, "memmap_dir",
+                                                         None):
+        return task
+    from .graph import ShardedGraph
+    from .tasks.task import Task
+
+    graph = ShardedGraph.from_graph(task.graph, args.shards or 1,
+                                    memmap_dir=args.memmap_dir)
+    print(f"sharded task graph: {graph.num_shards} shard(s), "
+          f"{graph.feature_storage} feature storage")
+    return Task(graph, task.support, task.queries, name=task.name,
+                use_attributes=task.use_attributes,
+                use_structural=task.use_structural)
+
+
 def _policy_scopes(args: argparse.Namespace) -> List:
     """Context managers for the requested backend/index overrides.
 
@@ -154,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "the paper-exact numerics, float32 roughly "
                             "doubles spmm/matmul throughput)")
     _add_backend_flags(train)
+    _add_shard_flags(train)
 
     query = sub.add_parser("query", help="answer queries with a saved bundle")
     query.add_argument("--dataset", default="cora")
@@ -177,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "float16/int8 fit 2-8x more task sessions in "
                             "the same cache RAM")
     _add_backend_flags(query)
+    _add_shard_flags(query)
     # Deprecated no-ops: the architecture now travels inside the bundle.
     # Still accepted (and used as a fallback for legacy weight-only files)
     # so existing scripts keep working, with a warning.
@@ -242,6 +282,7 @@ def _add_serving_fixture_flags(parser: argparse.ArgumentParser) -> None:
                         help="cap on requests coalesced per tick "
                              "(default: unlimited)")
     _add_backend_flags(parser)
+    _add_shard_flags(parser)
 
 
 def _cmd_datasets() -> int:
@@ -363,6 +404,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
             "dtype": args.dtype,
             "epochs_trained": len(state.epoch_losses),
             "final_loss": float(state.epoch_losses[-1]),
+            # Serving-layout recommendation (training itself always runs
+            # the dense collation path; sharding is an inference layout).
+            "shards": int(args.shards) if args.shards else 1,
+            "memmap_dir": args.memmap_dir or "",
         })
     bundle.save(args.out)
     print(f"trained {len(state.epoch_losses)} epochs "
@@ -409,6 +454,11 @@ def _run_query(args: argparse.Namespace) -> int:
                           num_support=3, num_query=3)
     task = sampler.sample_task(make_rng(args.seed))
     in_dim = task.features().shape[1]
+    try:
+        task = _shard_task(task, args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     # "bundle" defers to the checkpoint's recorded training precision.
     serving_dtype = None if args.dtype == "bundle" else args.dtype
 
@@ -472,6 +522,11 @@ def _serving_fixture(args: argparse.Namespace):
                           num_support=3, num_query=3)
     task = sampler.sample_task(make_rng(args.seed))
     in_dim = task.features().shape[1]
+    try:
+        task = _shard_task(task, args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     serving_dtype = None if args.dtype == "bundle" else args.dtype
     try:
         bundle = ModelBundle.load(args.model)

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..graph import Graph, GraphBatch
+from ..graph import Graph, GraphBatch, ShardedGraph
 from ..nn import functional as F
 from ..nn.backend import (fused_inference_enabled, get_backend,
                           index_dtype_for, resolve_dtype, resolve_index_dtype)
@@ -156,6 +156,8 @@ class CGNP(Module):
         itself is a single segment reduction (no per-task Python loop).
         """
         tasks, support_sets = self._resolve_supports(tasks, supports)
+        if self._sharded_context_active(tasks):
+            return self._context_concat_sharded(tasks, support_sets)
         stacked, batch, layout = self._collate_support_views(tasks,
                                                             support_sets)
         sizes64 = np.asarray([n for _, n in layout], dtype=np.int64)
@@ -256,6 +258,116 @@ class CGNP(Module):
             batch = GraphBatch(replicas)
         stacked = inputs[0] if len(inputs) == 1 else np.concatenate(inputs, axis=0)
         return stacked, batch, layout
+
+    # ------------------------------------------------------------------
+    # Shard-streaming context encoding
+    # ------------------------------------------------------------------
+    def _sharded_context_active(self, tasks: Sequence[Task]) -> bool:
+        """Whether context encoding should stream shard by shard.
+
+        Requires every task graph to be a
+        :class:`~repro.graph.shard.ShardedGraph`, inference (eval mode,
+        no tape — the streaming forward has no VJPs), and a sum/mean ⊕
+        (pooling must distribute over row blocks).  Anything else —
+        training, the attention ⊕, plain or mixed graphs — falls through
+        to the dense collation path, which a ``ShardedGraph`` supports
+        unchanged (it *is* a ``Graph``).
+        """
+        return (isinstance(self.aggregator, (SumAggregator, MeanAggregator))
+                and not self.training and not is_grad_enabled()
+                and all(isinstance(t.graph, ShardedGraph) for t in tasks))
+
+    def _context_concat_sharded(self, tasks: Sequence[Task],
+                                support_sets: Sequence[List[QueryExample]]):
+        """Per-task shard-streaming contexts, concatenated like the dense
+        path's output.
+
+        Tasks are encoded one at a time (each bitwise-identical to its
+        own dense single-task encode; cross-task collation would change
+        the BLAS row count and thereby the bits), with the support-set ⊕
+        pooled incrementally across replica blocks as each streams out of
+        the arena.
+        """
+        contexts = [self._sharded_task_context(task, examples)
+                    for task, examples in zip(tasks, support_sets)]
+        sizes64 = np.asarray([task.graph.num_nodes for task in tasks],
+                             dtype=np.int64)
+        offsets64 = np.concatenate([[0], np.cumsum(sizes64)])
+        index_dtype = index_dtype_for(int(offsets64[-1]))
+        offsets = offsets64.astype(index_dtype, copy=False)
+        combined = (contexts[0] if len(contexts) == 1
+                    else np.concatenate(contexts, axis=0))
+        return Tensor(combined), offsets
+
+    def _sharded_task_context(self, task: Task,
+                              examples: Sequence[QueryExample]) -> np.ndarray:
+        """One task's context matrix via the shard-streaming encoder.
+
+        Pooling replicates the dense segment-scatter exactly: start from
+        zeros and add replica blocks in view order — the same per-row
+        addition sequence ``np.add.at`` performs on the dense path.
+        """
+        if not examples:
+            raise ValueError("context requires at least one support example")
+        graph = task.graph
+        k = len(examples)
+        n = graph.num_nodes
+        fill = self._sharded_support_fill(task, list(examples))
+        hidden = self.encoder.encode_sharded(graph, fill, replicas=k,
+                                             dtype=self.dtype)
+        context = np.zeros((n, int(hidden.shape[1])), dtype=hidden.dtype)
+        for view in range(k):
+            context += hidden[view * n:(view + 1) * n]
+        if isinstance(self.aggregator, MeanAggregator):
+            context *= context.dtype.type(1.0 / k)
+        return context
+
+    def _sharded_support_fill(self, task: Task,
+                              examples: List[QueryExample]):
+        """A filler for the stacked ``(k * n, 1 + d)`` support input.
+
+        When the task reads raw attributes only (no structural channel),
+        the attribute blocks stream straight from the graph's (memmap)
+        feature storage into the arena buffer — the full ``n x d``
+        feature matrix never materialises in anonymous memory.  Any
+        other feature configuration falls back to the task's feature
+        pipeline; the values written are identical either way
+        (:func:`make_support_features` semantics).
+        """
+        graph = task.graph
+        config = self.config
+        use_attrs = (task.use_attributes if config.use_attributes is None
+                     else config.use_attributes)
+        use_struct = (task.use_structural if config.use_structural is None
+                      else config.use_structural)
+        n = graph.num_nodes
+        streaming = (use_attrs and not use_struct
+                     and graph.attributes is not None)
+
+        def fill(buffer: np.ndarray) -> None:
+            k = len(examples)
+            if not (streaming
+                    and buffer.shape[1] == graph.num_attributes + 1):
+                features = task.features(use_attrs, use_struct)
+                buffer[:] = make_support_features(features, examples)
+                return
+            for shard in range(graph.num_shards):
+                lo, hi = graph.shard_range(shard)
+                block = graph.attributes[lo:hi]
+                for view in range(k):
+                    base = view * n
+                    buffer[base + lo:base + hi, 0] = 0.0
+                    buffer[base + lo:base + hi, 1:] = block
+            index_dtype = resolve_index_dtype()
+            for view, example in enumerate(examples):
+                base = view * n
+                buffer[base + int(example.query), 0] = 1.0
+                positives = example.positives
+                if positives is not None and len(positives) > 0:
+                    buffer[base + np.asarray(positives,
+                                             dtype=index_dtype), 0] = 1.0
+
+        return fill
 
     def _fold_active(self) -> bool:
         """Whether the fused encode-then-aggregate fold may run.

@@ -1,7 +1,7 @@
 """``repro.gnn`` — graph convolutions and K-layer encoders."""
 
 from .conv import (CONV_TYPES, GATConv, GCNConv, GraphLike, GraphOps,
-                   SAGEConv, graph_ops)
+                   GraphShardOps, SAGEConv, graph_ops, graph_shard_ops)
 from .encoder import (DEFAULTS, GNNEncoder, GNNNodeClassifier,
                       make_query_features, make_support_features)
 
@@ -10,8 +10,10 @@ __all__ = [
     "GATConv",
     "SAGEConv",
     "GraphOps",
+    "GraphShardOps",
     "GraphLike",
     "graph_ops",
+    "graph_shard_ops",
     "CONV_TYPES",
     "GNNEncoder",
     "GNNNodeClassifier",

@@ -31,7 +31,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
-from ..graph import Graph, GraphBatch, stack_csr
+from ..graph import Graph, GraphBatch, ShardedGraph, stack_csr
 from ..nn import functional as F
 from ..nn import init
 from ..nn.backend import get_backend, resolve_dtype, resolve_index_dtype
@@ -40,6 +40,7 @@ from ..nn.sparse import normalized_adjacency, row_normalized_adjacency, spmm
 from ..nn.tensor import Tensor
 
 __all__ = ["GraphOps", "GraphLike", "graph_ops",
+           "GraphShardOps", "graph_shard_ops",
            "GCNConv", "GATConv", "SAGEConv", "CONV_TYPES"]
 
 #: Anything the convolutions can message-pass over: a single graph or a
@@ -149,6 +150,172 @@ def graph_ops(graph: GraphLike, dtype=None, index_dtype=None) -> GraphOps:
     key = f"{GRAPH_OPS_KEY}.{resolved.name}.{resolved_index.name}"
     return graph.cached_ops(
         key, lambda g: _build_graph_ops(g, resolved, resolved_index))
+
+
+def _compact_rows(matrix: sp.csr_matrix, lo: int, hi: int,
+                  halo: np.ndarray, index_dtype: np.dtype) -> sp.csr_matrix:
+    """Slice rows ``lo..hi`` of a CSR operator and compact its columns
+    onto the shard's halo.
+
+    ``halo`` is sorted and covers every column the sliced rows touch, and
+    CSR column indices are sorted within each row, so the
+    ``searchsorted`` remap keeps each row's column order exactly — an
+    spmm over the compacted slice accumulates every output row in the
+    same term order as the global operator (the bitwise-parity
+    invariant).  Data/structure arrays are copied so the global operator
+    can be freed after slicing.
+    """
+    indptr = matrix.indptr[lo:hi + 1].astype(np.int64)
+    start, stop = int(indptr[0]), int(indptr[-1])
+    data = np.array(matrix.data[start:stop])
+    local = np.searchsorted(halo, matrix.indices[start:stop])
+    # Assemble through attribute assignment (not the csr constructor) so
+    # scipy cannot second-guess the requested index width.
+    shell = sp.csr_matrix((hi - lo, int(halo.size)), dtype=matrix.dtype)
+    shell.data = data
+    shell.indices = local.astype(index_dtype)
+    shell.indptr = (indptr - start).astype(index_dtype)
+    return shell
+
+
+class _ShardOperatorStore:
+    """Lazy per-family backing store shared by one graph's shard ops.
+
+    Each operator *family* (GCN's symmetric normalisation, SAGE's row
+    normalisation, GAT's directed edge lists) is built for **all** shards
+    in one pass on first access — the global operator is materialised
+    once, sliced per shard with halo compaction, then freed — and
+    families a workload never touches are never built (a GCN-only
+    serving path pays for ``norm_adj`` slices only).
+    """
+
+    def __init__(self, graph: "ShardedGraph", dtype: np.dtype,
+                 index_dtype: np.dtype):
+        self._graph = graph
+        self._dtype = dtype
+        self._index_dtype = index_dtype
+        self._families: dict = {}
+
+    def family(self, name: str):
+        got = self._families.get(name)
+        if got is None:
+            got = self._families[name] = self._build(name)
+        return got
+
+    def _build(self, name: str):
+        graph = self._graph
+        bounds = [graph.shard_range(i) for i in range(graph.num_shards)]
+        if name == "edges":
+            # Global edge order is concat(both orientations) + self-loops
+            # (exactly `_build_graph_ops`); each shard keeps the
+            # subsequence whose destination it owns, so per-destination
+            # edge order — the order segment softmax and scatter-add
+            # accumulate in — matches the dense path bitwise.
+            src, dst = graph.directed_edges()
+            loops = np.arange(graph.num_nodes, dtype=self._index_dtype)
+            edge_src = np.concatenate([src, loops]).astype(self._index_dtype,
+                                                           copy=False)
+            edge_dst = np.concatenate([dst, loops]).astype(self._index_dtype,
+                                                           copy=False)
+            shards = []
+            for lo, hi in bounds:
+                mask = (edge_dst >= lo) & (edge_dst < hi)
+                shards.append((edge_src[mask],
+                               (edge_dst[mask] - lo).astype(self._index_dtype,
+                                                            copy=False)))
+            return shards
+        if name == "norm_adj":
+            full = normalized_adjacency(graph.adjacency, dtype=self._dtype,
+                                        index_dtype=self._index_dtype)
+        elif name == "row_norm_adj":
+            full = row_normalized_adjacency(graph.adjacency, dtype=self._dtype,
+                                            index_dtype=self._index_dtype)
+        else:  # pragma: no cover - internal misuse
+            raise KeyError(name)
+        shards = [_compact_rows(full, lo, hi, graph.halo(i), self._index_dtype)
+                  for i, (lo, hi) in enumerate(bounds)]
+        return shards
+
+
+@dataclasses.dataclass
+class GraphShardOps:
+    """Message-passing operators of one row shard of a
+    :class:`~repro.graph.shard.ShardedGraph`.
+
+    The sparse/edge operators live in a lazily-built family store shared
+    by all shards of one ``(dtype, index_dtype)`` combination; accessing
+    e.g. ``norm_adj`` materialises that family for every shard at once
+    (one global build + slice) and leaves the other families unbuilt.
+
+    ``norm_adj`` / ``row_norm_adj`` are halo-compacted: shape
+    ``(num_rows, len(halo))``, with column ``j`` standing for global node
+    ``halo[j]`` — gather ``x[halo]`` and spmm.  ``edge_src`` holds
+    *global* source ids of the directed-edge subsequence whose
+    destination falls in ``[row_start, row_stop)``; ``edge_dst_local`` is
+    those destinations shifted to shard-local row ids.
+    """
+
+    index: int
+    row_start: int
+    row_stop: int
+    halo: np.ndarray
+    num_rows: int
+    dtype: np.dtype
+    index_dtype: np.dtype
+    _store: _ShardOperatorStore = dataclasses.field(repr=False)
+
+    @property
+    def norm_adj(self) -> sp.csr_matrix:
+        return self._store.family("norm_adj")[self.index]
+
+    @property
+    def row_norm_adj(self) -> sp.csr_matrix:
+        return self._store.family("row_norm_adj")[self.index]
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        return self._store.family("edges")[self.index][0]
+
+    @property
+    def edge_dst_local(self) -> np.ndarray:
+        return self._store.family("edges")[self.index][1]
+
+
+def graph_shard_ops(graph: "ShardedGraph", dtype=None,
+                    index_dtype=None) -> list:
+    """Build (or fetch the cached) per-shard operator list of ``graph``.
+
+    One :class:`GraphShardOps` per row shard, memoised under
+    ``"gnn.message_passing.<elem>.<index>.shard<i>"`` — the dense
+    family key plus a shard segment, so every family-prefix
+    ``invalidate_cached_ops`` that drops the dense operators drops the
+    shard slices with them (see
+    :class:`~repro.graph.graph.OpsCache`).
+    """
+    if not isinstance(graph, ShardedGraph):
+        raise TypeError(
+            f"graph_shard_ops needs a ShardedGraph, got {type(graph).__name__}")
+    resolved = resolve_dtype(dtype)
+    resolved_index = resolve_index_dtype(index_dtype)
+    base = f"{GRAPH_OPS_KEY}.{resolved.name}.{resolved_index.name}"
+    # All shards missing from the cache share one lazily-built family
+    # store; cached shards keep the store they were built with.
+    store_box: list = []
+
+    def shard_builder(i):
+        def builder(g):
+            if not store_box:
+                store_box.append(
+                    _ShardOperatorStore(g, resolved, resolved_index))
+            lo, hi = g.shard_range(i)
+            return GraphShardOps(index=i, row_start=lo, row_stop=hi,
+                                 halo=g.halo(i), num_rows=hi - lo,
+                                 dtype=resolved, index_dtype=resolved_index,
+                                 _store=store_box[0])
+        return builder
+
+    return [graph.cached_ops(f"{base}.shard{i}", shard_builder(i))
+            for i in range(graph.num_shards)]
 
 
 class GCNConv(Module):

@@ -20,16 +20,36 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..nn import functional as F
-from ..nn.backend import fused_inference_enabled, resolve_index_dtype
+from ..nn.backend import (fused_inference_enabled, get_backend, resolve_dtype,
+                          resolve_index_dtype)
 from ..nn.layers import Dropout
 from ..nn.module import Module, ModuleList
 from ..nn.tensor import Tensor, is_grad_enabled
-from .conv import CONV_TYPES, GraphLike, graph_ops
+from .conv import (CONV_TYPES, GATConv, GCNConv, GraphLike, SAGEConv,
+                   graph_ops, graph_shard_ops)
 
 __all__ = ["GNNEncoder", "GNNNodeClassifier", "make_query_features",
            "make_support_features", "DEFAULTS"]
 
 DEFAULTS = {"num_layers": 3, "hidden_dim": 128, "dropout": 0.2, "conv": "gat"}
+
+
+def _streaming_activation(data: np.ndarray, act: Optional[str]) -> np.ndarray:
+    """The encoder activations as raw-array formulas.
+
+    Exactly the expressions :func:`repro.nn.functional.relu` /
+    :func:`~repro.nn.functional.elu` (``alpha = 1``) evaluate on tensor
+    data, so the shard-streaming forward stays bitwise-identical to the
+    dense one.
+    """
+    if act is None:
+        return data
+    if act == "relu":
+        return np.maximum(data, 0.0)
+    if act == "elu":
+        exp_part = np.exp(np.minimum(data, 0.0)) - 1.0
+        return np.where(data > 0, data, exp_part)
+    raise ValueError(f"unknown activation {act!r}")
 
 
 def make_query_features(features: np.ndarray, query: int,
@@ -175,6 +195,153 @@ class GNNEncoder(Module):
                     x = self._activation(x)
                     x = self.dropouts[index](x)
         return x
+
+    # ------------------------------------------------------------------
+    # Shard-streaming inference
+    # ------------------------------------------------------------------
+    def encode_sharded(self, graph, fill, *, replicas: int = 1,
+                       dtype=None) -> np.ndarray:
+        """Inference-only forward over a
+        :class:`~repro.graph.shard.ShardedGraph`, one row shard at a time.
+
+        ``fill(buffer)`` must populate the ``(replicas * n, in_dim)``
+        layer-0 input (row block ``v`` is support view ``v``, matching
+        :func:`make_support_features` / ``GraphBatch.replicate`` layout).
+        The input and every layer activation live in the graph's buffer
+        arena — memmap-backed when the graph has a ``memmap_dir`` — so
+        anonymous memory holds only one shard's working set at a time:
+        the dense ``matmul`` against the layer weights always runs
+        full-matrix (identical BLAS shapes to the dense forward — this
+        is what makes the result *bitwise* equal, because BLAS reductions
+        depend on the row count), while the sparse/edge message passing
+        streams per ``(replica, shard)`` with halo gathers.
+
+        Returns the final ``(replicas * n, hidden_dim)`` activation — a
+        **reused arena buffer**: copy out anything that must survive the
+        next encode.  Raises if called in training mode or under a
+        gradient tape; never uses the fused-fold approximation, so the
+        output matches the unfused dense forward bitwise on the
+        numpy/threaded backends.
+        """
+        if self.training or is_grad_enabled():
+            raise RuntimeError(
+                "encode_sharded is inference-only: call model.eval() and "
+                "run outside any gradient tape")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        resolved = resolve_dtype(dtype)
+        shard_ops = graph_shard_ops(graph, resolved)
+        n = graph.num_nodes
+        rows = int(replicas) * n
+        x = graph.buffer("enc.x", (rows, self.in_dim), resolved)
+        fill(x)
+        last = self.num_layers - 1
+        act_name = "elu" if self.conv_name == "gat" else "relu"
+        for index in range(self.num_layers):
+            conv = self.convs[index]
+            act = act_name if (index < last or self.activate_final) else None
+            # Ping-pong between two arena activations; a layer never
+            # writes the buffer it reads.
+            out = graph.buffer(f"enc.h{index % 2}", (rows, self.hidden_dim),
+                               resolved)
+            self._stream_conv(conv, x, out, graph, shard_ops, replicas, n,
+                              act)
+            x = out
+        return x
+
+    def _stream_conv(self, conv, x, out, graph, shard_ops, replicas: int,
+                     n: int, act: Optional[str]) -> None:
+        if isinstance(conv, GCNConv):
+            self._stream_gcn(conv, x, out, shard_ops, replicas, n, act)
+        elif isinstance(conv, SAGEConv):
+            self._stream_sage(conv, x, out, graph, shard_ops, replicas, n,
+                              act)
+        elif isinstance(conv, GATConv):
+            self._stream_gat(conv, x, out, shard_ops, replicas, n, act)
+        else:  # pragma: no cover - new conv types must opt in explicitly
+            raise TypeError(
+                f"no shard-streaming rule for {type(conv).__name__}")
+
+    @staticmethod
+    def _stream_gcn(conv, x, out, shard_ops, replicas: int, n: int,
+                    act: Optional[str]) -> None:
+        """``spmm(norm, x @ W) + b`` streamed per (replica, shard)."""
+        xp = get_backend()
+        xw = xp.matmul(x, conv.weight.data)  # full-matrix: bitwise anchor
+        bias = None if conv.bias is None else conv.bias.data
+        for v in range(replicas):
+            base = v * n
+            for ops in shard_ops:
+                block = xp.spmm(ops.norm_adj, xw[base + ops.halo])
+                if bias is not None:
+                    block = block + bias
+                block = _streaming_activation(block, act)
+                out[base + ops.row_start:base + ops.row_stop] = block
+        del xw
+
+    @staticmethod
+    def _stream_sage(conv, x, out, graph, shard_ops, replicas: int, n: int,
+                     act: Optional[str]) -> None:
+        """Mean-aggregate per shard, then mix with full-matrix matmuls."""
+        xp = get_backend()
+        rows = replicas * n
+        width = int(x.shape[1])
+        # The neighbour means keep the *input* width, so they get their
+        # own arena buffer rather than living in anonymous memory.
+        means = graph.buffer("enc.sage.nm", (rows, width), x.dtype)
+        for v in range(replicas):
+            base = v * n
+            for ops in shard_ops:
+                means[base + ops.row_start:base + ops.row_stop] = (
+                    xp.spmm(ops.row_norm_adj, x[base + ops.halo]))
+        mixed = (xp.matmul(x, conv.weight_self.data)
+                 + xp.matmul(means, conv.weight_neigh.data))
+        if conv.bias is not None:
+            mixed = mixed + conv.bias.data
+        out[:] = _streaming_activation(mixed, act)
+
+    @staticmethod
+    def _stream_gat(conv, x, out, shard_ops, replicas: int, n: int,
+                    act: Optional[str]) -> None:
+        """Attention with full-matrix projections/scores and a per
+        (replica, shard) edge path.
+
+        Shard edge lists are destination-owned subsequences of the global
+        directed-edge order, so each destination's softmax and
+        scatter-add accumulate in exactly the dense order.
+        """
+        xp = get_backend()
+        heads, scores_src, scores_dst = [], [], []
+        for head in range(conv.num_heads):
+            h = xp.matmul(x, conv.weight.data[head])
+            heads.append(h)
+            scores_src.append((h * conv.attn_src.data[head]).sum(axis=1))
+            scores_dst.append((h * conv.attn_dst.data[head]).sum(axis=1))
+        bias = None if conv.bias is None else conv.bias.data
+        slope = conv.negative_slope
+        for v in range(replicas):
+            base = v * n
+            for ops in shard_ops:
+                lo, hi = ops.row_start, ops.row_stop
+                src_ids = base + ops.edge_src
+                dst_local = ops.edge_dst_local
+                dst_ids = base + lo + dst_local
+                block = None
+                for head in range(conv.num_heads):
+                    raw = scores_src[head][src_ids] + scores_dst[head][dst_ids]
+                    logits = np.where(raw > 0, raw, slope * raw)
+                    alpha = xp.segment_softmax(logits, dst_local,
+                                               ops.num_rows)
+                    messages = (xp.gather_rows(heads[head], src_ids)
+                                * alpha.reshape(-1, 1))
+                    head_block = xp.scatter_add_rows(messages, dst_local,
+                                                     ops.num_rows)
+                    block = head_block if block is None else block + head_block
+                if conv.num_heads > 1:
+                    block = block * (1.0 / conv.num_heads)
+                if bias is not None:
+                    block = block + bias
+                out[base + lo:base + hi] = _streaming_activation(block, act)
 
 
 class GNNNodeClassifier(Module):

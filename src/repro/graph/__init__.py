@@ -28,11 +28,14 @@ from .generators import (
     planted_partition_graph,
 )
 from .graph import Graph, OpsCache
+from .shard import ShardedGraph, graph_memory_profile
 
 __all__ = [
     "Graph",
     "GraphBatch",
     "OpsCache",
+    "ShardedGraph",
+    "graph_memory_profile",
     "stack_csr",
     "core_numbers",
     "k_core_subgraph",

@@ -51,6 +51,16 @@ class OpsCache:
     invalidating ``"<op>"`` also drops every ``"<op>.<suffix>"``
     variant (and invalidating ``"<op>.<elem-name>"`` drops every index
     width of that element width).
+
+    Sharded operators extend the same convention with one more segment:
+    per-shard entries are keyed
+    ``"<op>.<elem-name>.<index-name>.shard<i>"`` (e.g.
+    ``"gnn.message_passing.float32.int32.shard2"``), so every
+    family-prefix invalidation that would drop the dense operator also
+    drops all of its shard slices — there is no way to invalidate the
+    dense family and leave a stale shard behind.  This is load-bearing
+    for :meth:`Graph.set_attributes`, whose contract is that no cached
+    operator (dense *or* shard-suffixed) survives a feature mutation.
     """
 
     def cached_ops(self, key: str, builder: Callable[["OpsCache"], T]) -> T:
@@ -191,6 +201,32 @@ class Graph(OpsCache):
         adjacency = sp.csr_matrix((data, (rows, cols)),
                                   shape=(num_nodes, num_nodes))
         return get_backend().to_operator(adjacency)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set_attributes(self, attributes: Optional[np.ndarray]) -> None:
+        """Replace the node-attribute matrix and drop **every** cached op.
+
+        Graphs are otherwise immutable; this is the one sanctioned
+        mutation, and its contract is conservative: the whole
+        :class:`OpsCache` is cleared — all element/index width variants
+        *and* all shard-suffixed entries (``...shard<i>``) — so nothing
+        downstream can ever message-pass with operators or collations
+        built against the old features.  (Structural operators do not
+        depend on attribute values, but cached entries like the
+        replica-batch collation sit next to them under the same cache;
+        clearing everything keeps the invariant trivial to audit.)
+        """
+        if attributes is not None:
+            attributes = np.asarray(attributes, dtype=resolve_dtype())
+            if attributes.shape[0] != self.num_nodes:
+                raise ValueError(
+                    f"attribute matrix has {attributes.shape[0]} rows for "
+                    f"{self.num_nodes} nodes"
+                )
+        self.attributes = attributes
+        self.invalidate_cached_ops()
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -295,6 +295,14 @@ class ServeStats(EngineStats):
         counter("repro_engine_contexts_bytes_evicted_total",
                 "Cumulative bytes reclaimed by context LRU eviction.",
                 self.contexts_bytes_evicted)
+        gauge("repro_engine_graph_resident_bytes",
+              "Estimated anonymous-RAM bytes of the active task graph "
+              "(operators + feature working set).",
+              self.graph_resident_bytes)
+        gauge("repro_engine_shard_count",
+              "Row shards of the active task graph (1 = dense, 0 = no "
+              "task attached).",
+              self.shard_count)
         gauge("repro_engine_backend_info",
               "Active array backend (value is always 1).", 1,
               label=f'{{backend="{self.backend}"}}')

@@ -80,6 +80,39 @@ class TestCommands:
         assert code == 0
         assert "backend threaded" in capsys.readouterr().out
 
+    def test_shard_flags_roundtrip(self, tmp_path, capsys):
+        """--shards/--memmap-dir shard the query-side task graph; train
+        records the layout in bundle provenance."""
+        from repro.api import ModelBundle
+
+        model_path = str(tmp_path / "model.npz")
+        memmap_dir = str(tmp_path / "shards")
+        code = main(["train", "--dataset", "cora", "--out", model_path,
+                     "--epochs", "1", "--tasks", "2",
+                     "--subgraph-nodes", "40", "--hidden-dim", "8",
+                     "--layers", "1", "--conv", "gcn", "--scale", "0.2",
+                     "--shards", "2"])
+        assert code == 0
+        capsys.readouterr()
+        bundle = ModelBundle.load(model_path)
+        assert bundle.provenance["shards"] == 2
+        assert bundle.provenance["memmap_dir"] == ""
+
+        code = main(["query", "--dataset", "cora", "--model", model_path,
+                     "--node", "0", "--subgraph-nodes", "40",
+                     "--scale", "0.2", "--shards", "2",
+                     "--memmap-dir", memmap_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded task graph: 2 shard(s)" in out
+        assert "predicted community" in out
+
+    def test_shard_flags_default_off(self):
+        args = build_parser().parse_args(
+            ["query", "--model", "x.npz", "--node", "0"])
+        assert args.shards is None
+        assert args.memmap_dir is None
+
     def test_num_threads_requires_threaded_backend(self, tmp_path, capsys):
         code = main(["query", "--dataset", "cora", "--model", "x.npz",
                      "--node", "0", "--num-threads", "4"])
