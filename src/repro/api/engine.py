@@ -42,6 +42,7 @@ import numpy as np
 
 from ..core.infer import validate_queries
 from ..core.model import CGNP
+from ..graph.delta import DeltaReport, GraphDelta, dirty_frontier
 from ..graph.features import feature_dimension
 from ..graph.shard import ShardedGraph, graph_memory_profile
 from ..nn.backend import get_backend, resolve_context_storage
@@ -138,6 +139,13 @@ class EngineStats:
     of its operators + feature working set, and its row-shard count
     (1 for a plain dense graph, 0 when no task is attached) — see
     :func:`repro.graph.shard.graph_memory_profile`.
+
+    ``deltas_applied`` / ``rows_repaired`` / ``contexts_dirtied`` track
+    the streaming-update path (:meth:`CommunitySearchEngine.apply_delta`):
+    deltas applied through this engine, operator rows rewritten in place
+    by degree-local repair, and cached task contexts invalidated for
+    lazy re-encoding because the delta's dirty frontier reached their
+    support sets.
     """
 
     queries_served: int = 0
@@ -157,6 +165,9 @@ class EngineStats:
     context_storage: str = ""
     graph_resident_bytes: int = 0
     shard_count: int = 0
+    deltas_applied: int = 0
+    rows_repaired: int = 0
+    contexts_dirtied: int = 0
 
     @property
     def queries_per_second(self) -> float:
@@ -580,6 +591,84 @@ class CommunitySearchEngine:
         if single:
             return result[int(nodes)]
         return result
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta, task: Optional[Task] = None,
+                    repair: bool = True) -> DeltaReport:
+        """Apply a :class:`~repro.graph.delta.GraphDelta` to a task's graph
+        and dirty exactly the cached contexts it can have changed.
+
+        The graph patch itself is :meth:`Graph.apply_delta
+        <repro.graph.graph.Graph.apply_delta>` (in-place CSR + operator
+        repair); on top of it the engine decides, per cached context on
+        the mutated graph, whether the delta can reach the context at
+        all: the delta's **dirty frontier** (degree- or attribute-touched
+        nodes expanded ``num_layers`` hops, removed edges included) is
+        intersected with the context's support-set labelled nodes.  A
+        miss keeps the cached context — every decode through it keeps
+        answering exactly as the pre-delta graph did; a hit (or any
+        appended node, which changes the context's row count) drops the
+        context and the task's feature caches, so the next decode lazily
+        re-encodes against the patched graph.  Answers are therefore
+        always *coherent*: entirely pre-delta or entirely post-delta,
+        never a mix (the concurrency hammer in ``tests/test_api.py``
+        pins this).
+
+        Holding the engine lock for the whole patch means deltas
+        serialise with decodes — a :class:`~repro.serve.ServeGateway`
+        in front of the engine applies them atomically between ticks.
+
+        ``repair=False`` is the measured baseline: full operator
+        invalidation and every same-graph context dirtied.
+
+        Returns the :class:`~repro.graph.delta.DeltaReport`; the
+        ``deltas_applied`` / ``rows_repaired`` / ``contexts_dirtied``
+        counters land in :meth:`stats`.
+        """
+        task = self._require_task(task)
+        graph = task.graph
+        with self._lock:
+            report = graph.apply_delta(delta, repair=repair)
+            self._stats.deltas_applied += 1
+            self._stats.rows_repaired += int(report.rows_repaired)
+            if not report.dirty:
+                return report
+            frontier: Optional[np.ndarray] = None
+            if repair and not report.nodes_added:
+                frontier = dirty_frontier(graph, report,
+                                          self.model.config.num_layers)
+            # Every task the engine knows about on this graph: cached
+            # contexts, the active session and the delta's own task.
+            known: Dict[int, Task] = {id(t): t for t in self._contexts}
+            for extra in (self._active, task):
+                if extra is not None:
+                    known.setdefault(id(extra), extra)
+            for candidate in known.values():
+                if candidate.graph is not graph:
+                    continue
+                # Stale cached *features* would let a later re-encode mix
+                # pre-delta inputs with post-delta operators — drop them
+                # for every known task, dirty or not (contexts cached
+                # before the delta stay valid as pre-delta answers).
+                candidate.invalidate_feature_caches()
+                if candidate not in self._contexts:
+                    continue
+                if frontier is not None and not np.intersect1d(
+                        self._support_nodes(candidate), frontier).size:
+                    continue
+                self._pop_context(candidate)
+                self._stats.contexts_dirtied += 1
+            return report
+
+    @staticmethod
+    def _support_nodes(task: Task) -> np.ndarray:
+        """Sorted labelled node ids of a task's support set — the nodes
+        whose encoder view feeds the context aggregation."""
+        return np.unique(np.concatenate(
+            [example.labelled_nodes() for example in task.support]
+        ).astype(np.int64))
 
     # ------------------------------------------------------------------
     # Introspection

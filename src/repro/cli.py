@@ -47,7 +47,8 @@ from .eval import (
 )
 from .serve import (GatewayConfig, open_loop_arrivals, request_nodes,
                     run_baseline, run_gateway)
-from .tasks import ScenarioConfig, TaskSampler, make_scenario
+from .tasks import (ScenarioConfig, TaskSampler, make_scenario,
+                    temporal_snapshots)
 from .utils import make_rng
 
 __all__ = ["main", "build_parser"]
@@ -159,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run an effectiveness experiment")
     run.add_argument("--scenario", default="sgsc",
-                     choices=["sgsc", "sgdc", "mgod", "mgdd"])
+                     choices=["sgsc", "sgdc", "mgod", "mgdd", "temporal"])
     run.add_argument("--dataset", default="citeseer",
                      help="dataset name, or source2target / cite2cora for mgdd")
     run.add_argument("--methods", default="CTC,Supervised,CGNP-IP",
@@ -172,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="meta-train a CGNP and save a bundle")
     train.add_argument("--dataset", default="cora")
+    train.add_argument("--scenario", default="sgsc",
+                       choices=["sgsc", "sgdc", "temporal"],
+                       help="task scenario the training tasks are sampled "
+                            "from ('temporal' trains on the past edge "
+                            "snapshot so the bundle can be evaluated on "
+                            "the drifted present; default sgsc)")
     train.add_argument("--out", required=True, help="output bundle (.npz) path")
     train.add_argument("--epochs", type=int, default=40)
     train.add_argument("--tasks", type=int, default=12)
@@ -199,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--model", required=True, help="saved bundle (.npz) path")
     query.add_argument("--node", type=int, required=True,
                        help="query node id in a fresh task subgraph")
+    query.add_argument("--scenario", default="sgsc",
+                       choices=["sgsc", "temporal"],
+                       help="graph to sample the query task from (temporal: "
+                            "the drifted present snapshot — the serving "
+                            "side of train-on-past/query-on-present; the "
+                            "same --seed reproduces training's edge split)")
     query.add_argument("--subgraph-nodes", type=int, default=100)
     query.add_argument("--threshold", type=float, default=0.5,
                        help="membership probability threshold")
@@ -379,7 +392,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             num_train_tasks=args.tasks, num_valid_tasks=max(args.tasks // 4, 1),
             num_test_tasks=1, subgraph_nodes=args.subgraph_nodes,
             num_support=3, num_query=6, seed=args.seed)
-        tasks = make_scenario("sgsc", args.dataset, config, scale=args.scale)
+        tasks = make_scenario(args.scenario, args.dataset, config,
+                              scale=args.scale)
         rng = make_rng(args.seed)
         in_dim = tasks.train[0].features().shape[1]
         model_config = CGNPConfig(hidden_dim=args.hidden_dim,
@@ -395,7 +409,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         # the backend and index width the run actually executed under.
         bundle = ModelBundle.from_model(model, provenance={
             "dataset": args.dataset,
-            "scenario": "sgsc",
+            "scenario": args.scenario,
             "scale": args.scale,
             "subgraph_nodes": args.subgraph_nodes,
             "num_train_tasks": args.tasks,
@@ -450,7 +464,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _run_query(args: argparse.Namespace) -> int:
     """The ``query`` body; runs under the selected backend/index policy."""
     dataset = load_dataset(args.dataset, scale=args.scale)
-    sampler = TaskSampler(dataset.graph, subgraph_nodes=args.subgraph_nodes,
+    graph = dataset.graph
+    if args.scenario == "temporal":
+        # The serving side of the temporal split: sample the query task
+        # from the drifted *present* snapshot (built by streaming the
+        # late edges through Graph.apply_delta, as training did).
+        graph = temporal_snapshots(graph, seed=args.seed)[1]
+    sampler = TaskSampler(graph, subgraph_nodes=args.subgraph_nodes,
                           num_support=3, num_query=3)
     task = sampler.sample_task(make_rng(args.seed))
     in_dim = task.features().shape[1]

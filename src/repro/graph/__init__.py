@@ -20,6 +20,7 @@ from .algorithms import (
 )
 from .batch import GraphBatch, stack_csr
 from .builders import from_edge_list, from_networkx, to_networkx
+from .delta import DeltaReport, GraphDelta, dirty_frontier
 from .features import feature_dimension, node_feature_matrix, structural_features
 from .generators import (
     attributed_community_graph,
@@ -33,6 +34,9 @@ from .shard import ShardedGraph, graph_memory_profile
 __all__ = [
     "Graph",
     "GraphBatch",
+    "GraphDelta",
+    "DeltaReport",
+    "dirty_frontier",
     "OpsCache",
     "ShardedGraph",
     "graph_memory_profile",

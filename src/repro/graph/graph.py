@@ -169,6 +169,13 @@ class Graph(OpsCache):
                 raise ValueError("parent_nodes must have one entry per node")
         self.parent_nodes = parent_nodes
 
+        # Monotonic mutation stamp.  Every sanctioned in-place mutation
+        # (``set_attributes``, ``apply_delta``) bumps it; downstream
+        # caches keyed on graph *identity* (task feature matrices)
+        # validate against it, so even holders the engine has forgotten
+        # about can never serve values computed from a previous state.
+        self.data_version = 0
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
@@ -226,7 +233,34 @@ class Graph(OpsCache):
                     f"{self.num_nodes} nodes"
                 )
         self.attributes = attributes
+        self.data_version = getattr(self, "data_version", 0) + 1
         self.invalidate_cached_ops()
+
+    def apply_delta(self, delta, repair: bool = True):
+        """Apply a :class:`~repro.graph.delta.GraphDelta` in place.
+
+        The second sanctioned mutation (next to :meth:`set_attributes`),
+        built for streaming updates: the canonical edge list, the CSR
+        adjacency and every cached ``gnn.message_passing.<elem>.<index>``
+        operator family are *patched* — only rows whose degree changed
+        are structurally rewritten, only rows holding an entry in a
+        degree-changed column are re-valued — and the patched operators
+        are bitwise-identical to a cold rebuild from the final edge
+        list.  Cache entries the repairer does not understand (e.g.
+        replica-batch collations) are dropped.  Attribute-only deltas
+        leave the structural operators untouched.
+
+        ``repair=False`` patches the structure identically but clears
+        the whole operator cache instead — the pre-delta behaviour, kept
+        as the measured baseline (``benchmarks/bench_dynamic_graph.py``).
+
+        Returns a :class:`~repro.graph.delta.DeltaReport` describing
+        what changed (degree-touched nodes, rows repaired, entries
+        dropped) — the input the engine's dirty-context tracking feeds
+        on.
+        """
+        from .delta import apply_graph_delta
+        return apply_graph_delta(self, delta, repair=repair)
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -260,6 +260,79 @@ class ShardedGraph(Graph):
     # ------------------------------------------------------------------
     # Mutation + lifecycle
     # ------------------------------------------------------------------
+    def apply_delta(self, delta, repair: bool = True):
+        """Apply a :class:`~repro.graph.delta.GraphDelta` at shard
+        granularity.
+
+        Structure and dense operators patch exactly as for a plain
+        :class:`~repro.graph.graph.Graph`; the shard-suffixed cache
+        entries and cached halos are then repaired by
+        :meth:`_repair_shard_state` — only shards whose row range *or
+        halo* intersects a degree-changed node are dropped for lazy
+        rebuild; untouched shards keep serving their compacted slices.
+
+        Appending nodes to a memmap-backed graph raises: the feature and
+        buffer files are fixed-size, so a growing graph must be rebuilt
+        via :meth:`from_graph`.
+        """
+        if self._closed:
+            raise RuntimeError(f"ShardedGraph {self.name!r} is closed")
+        if getattr(delta, "add_nodes", 0) and self.memmap_dir is not None:
+            raise ValueError(
+                "cannot append nodes to a memmap-backed ShardedGraph: its "
+                "feature/buffer files are fixed-size — rebuild the graph "
+                "with ShardedGraph.from_graph instead")
+        return super().apply_delta(delta, repair=repair)
+
+    def _repair_shard_state(self, report) -> None:
+        """Shard-granular cache repair after a structural delta.
+
+        Called by :func:`repro.graph.delta.apply_graph_delta` once the
+        dense families are patched.  A shard is *dirty* when a
+        degree-changed node falls inside its row range or inside any of
+        its cached halos: its ``…shard<i>`` cache entry and halos are
+        dropped for lazy rebuild against the patched adjacency.  A clean
+        shard's rows, 1-hop halo and compacted operator values are
+        provably unchanged (a degree change inside the halo would have
+        marked it dirty), so its entry keeps serving as-is.
+
+        Appended nodes change the shard geometry itself (row bounds move),
+        so they reset the bounds, every halo and every shard entry.
+        """
+        cache = self.__dict__.get("_ops_cache")
+        structure = report.structure_nodes
+        if report.nodes_added:
+            self.shard_bounds = np.array(
+                [(i * self.num_nodes) // self.num_shards
+                 for i in range(self.num_shards + 1)], dtype=np.int64)
+            self._halos.clear()
+            dirty = None    # every shard
+        else:
+            dirty = set()
+            for index in range(self.num_shards):
+                lo, hi = self.shard_range(index)
+                if np.any((structure >= lo) & (structure < hi)):
+                    dirty.add(index)
+            for (index, hops), halo in list(self._halos.items()):
+                if index in dirty or np.intersect1d(halo, structure).size:
+                    dirty.add(index)
+                    del self._halos[(index, hops)]
+        if not cache:
+            return
+        from .delta import _SHARD_KEY
+        for key in list(cache):
+            match = _SHARD_KEY.match(key)
+            if match is None:
+                continue
+            index = int(match.group("shard"))
+            # A kept entry must still have its (clean) 1-hop halo cached —
+            # the geometry its compacted slices were cut with; drop
+            # conservatively otherwise.
+            if dirty is None or index in dirty \
+                    or (index, 1) not in self._halos:
+                cache.pop(key, None)
+                report.ops_dropped += 1
+
     def set_attributes(self, attributes: Optional[AttributeSource],
                        attribute_dim: Optional[int] = None) -> None:
         """Replace the feature storage; drops every cached operator.

@@ -251,6 +251,26 @@ class ServeGateway:
         return result.completed
 
     # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta, task: Optional[Task] = None,
+                    repair: bool = True):
+        """Apply a :class:`~repro.graph.delta.GraphDelta` atomically
+        between ticks.
+
+        Delegates to :meth:`CommunitySearchEngine.apply_delta
+        <repro.api.engine.CommunitySearchEngine.apply_delta>`, which
+        holds the engine lock for the whole patch — and every tick's
+        decode (:meth:`flush` → ``predict_proba_many``) holds the same
+        lock, so a delta can never land inside a coalesced decoder pass:
+        each tick answers entirely against the pre-delta or entirely
+        against the post-delta graph.  Callable from any thread, with or
+        without the ticker running.  Returns the
+        :class:`~repro.graph.delta.DeltaReport`.
+        """
+        return self.engine.apply_delta(delta, task=task, repair=repair)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> ServeStats:

@@ -295,6 +295,16 @@ class ServeStats(EngineStats):
         counter("repro_engine_contexts_bytes_evicted_total",
                 "Cumulative bytes reclaimed by context LRU eviction.",
                 self.contexts_bytes_evicted)
+        counter("repro_engine_deltas_applied_total",
+                "Graph deltas applied through the engine.",
+                self.deltas_applied)
+        counter("repro_engine_rows_repaired_total",
+                "Operator rows rewritten in place by delta repair.",
+                self.rows_repaired)
+        counter("repro_engine_contexts_dirtied_total",
+                "Cached task contexts invalidated for lazy re-encoding "
+                "by a delta's dirty frontier.",
+                self.contexts_dirtied)
         gauge("repro_engine_graph_resident_bytes",
               "Estimated anonymous-RAM bytes of the active task graph "
               "(operators + feature working set).",

@@ -10,6 +10,8 @@ from .scenarios import (
     make_scenario,
     make_sgdc_tasks,
     make_sgsc_tasks,
+    make_temporal_tasks,
+    temporal_snapshots,
 )
 from .task import QueryExample, Task, TaskSet
 
@@ -25,6 +27,8 @@ __all__ = [
     "make_sgdc_tasks",
     "make_mgod_tasks",
     "make_mgdd_tasks",
+    "make_temporal_tasks",
+    "temporal_snapshots",
     "make_scenario",
     "SCENARIOS",
     "save_task_set",

@@ -9,6 +9,16 @@
   themselves the task graphs, split 6 / 2 / 2 for train / valid / test.
 * **MGDD** — Multiple Graphs, Different Domains ("Cite2Cora"): training
   tasks are sampled from Citeseer, validation and test tasks from Cora.
+
+One scenario extends the paper's four to the streaming setting this
+reproduction adds (:mod:`repro.graph.delta`):
+
+* **TEMPORAL** — edge-timestamped snapshots of one data graph: training
+  tasks are sampled from the *past* snapshot (the earliest
+  ``past_fraction`` of edges by simulated arrival order), validation and
+  test tasks from the *present* snapshot — which is materialised by
+  streaming the remaining edges into a copy of the past through
+  ``Graph.apply_delta``, the exact mutation path a live deployment uses.
 """
 
 from __future__ import annotations
@@ -19,13 +29,14 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from ..datasets import MultiGraphDataset, SingleGraphDataset, load_dataset
-from ..graph import Graph
+from ..graph import Graph, GraphDelta
 from ..utils import make_rng
 from .sampling import TaskSampler, eligible_queries, sample_query_example
 from .task import Task, TaskSet
 
 __all__ = ["ScenarioConfig", "make_sgsc_tasks", "make_sgdc_tasks",
-           "make_mgod_tasks", "make_mgdd_tasks", "make_scenario", "SCENARIOS"]
+           "make_mgod_tasks", "make_mgdd_tasks", "make_temporal_tasks",
+           "temporal_snapshots", "make_scenario", "SCENARIOS"]
 
 
 @dataclasses.dataclass
@@ -185,19 +196,91 @@ def make_mgdd_tasks(source: SingleGraphDataset, target: SingleGraphDataset,
     return task_set
 
 
+def temporal_snapshots(graph: Graph, past_fraction: float = 0.7, *,
+                       seed: int = 0,
+                       rng: Optional[np.random.Generator] = None):
+    """``(past, present)`` edge-timestamped snapshots of ``graph``.
+
+    Edges get a deterministic simulated arrival order (one permutation
+    drawn from ``rng``, or from ``make_rng(seed)``); the past snapshot
+    keeps the earliest ``past_fraction`` of them and the present
+    snapshot is the past with the remaining edges streamed in through
+    :meth:`Graph.apply_delta <repro.graph.graph.Graph.apply_delta>`.
+    Shared by :func:`make_temporal_tasks` (training side) and the CLI's
+    ``query --scenario temporal`` (serving side), which must agree on
+    the split — pass the same seed to get the same snapshots.
+    """
+    if not 0.0 < past_fraction < 1.0:
+        raise ValueError("past_fraction must be strictly between 0 and 1")
+    if graph.num_edges < 2:
+        raise ValueError("temporal scenario needs a graph with >= 2 edges")
+    if rng is None:
+        rng = make_rng(seed)
+    order = rng.permutation(graph.num_edges)
+    cutoff = max(1, min(graph.num_edges - 1,
+                        int(round(past_fraction * graph.num_edges))))
+    past_edges = graph.edges[np.sort(order[:cutoff])]
+    late_edges = graph.edges[np.sort(order[cutoff:])]
+    communities = [sorted(c) for c in graph.communities]
+    past = Graph(graph.num_nodes, past_edges, attributes=graph.attributes,
+                 communities=communities, name=f"{graph.name}@past")
+    present = Graph(graph.num_nodes, past_edges,
+                    attributes=graph.attributes, communities=communities,
+                    name=f"{graph.name}@present")
+    present.apply_delta(GraphDelta(add_edges=late_edges))
+    return past, present
+
+
+def make_temporal_tasks(dataset: SingleGraphDataset, config: ScenarioConfig,
+                        past_fraction: float = 0.7) -> TaskSet:
+    """Temporal snapshots: train on the past, validate/query the present.
+
+    The data graph's canonical edges receive simulated arrival
+    timestamps (a ``config.seed``-deterministic permutation — the
+    registry datasets carry no real ones).  The **past** snapshot holds
+    the earliest ``past_fraction`` of edges; the **present** snapshot is
+    a copy of the past with the remaining edges *streamed in through*
+    :meth:`Graph.apply_delta <repro.graph.graph.Graph.apply_delta>` —
+    the same in-place patch path a live deployment uses, whose repaired
+    operators the differential tests pin bitwise against a cold rebuild.
+    Training tasks are BFS subgraphs of the past, validation and test
+    tasks of the present: the meta-learner adapts to queries on a graph
+    that has drifted since training, the regime the streaming-update
+    subsystem exists for.  Node set, attributes and community ground
+    truth are shared by both snapshots (edges arrive; nodes persist).
+    """
+    rng = make_rng(config.seed)
+    past, present = temporal_snapshots(dataset.graph, past_fraction, rng=rng)
+
+    past_sampler = _sampler(past, config)
+    present_sampler = _sampler(present, config)
+    return TaskSet(
+        name=f"temporal-{dataset.name}",
+        train=past_sampler.sample_tasks(config.num_train_tasks, rng,
+                                        prefix="train"),
+        valid=present_sampler.sample_tasks(config.num_valid_tasks, rng,
+                                           prefix="valid"),
+        test=present_sampler.sample_tasks(config.num_test_tasks, rng,
+                                          prefix="test"),
+    )
+
+
 def make_scenario(scenario: str, dataset_name: str, config: ScenarioConfig,
                   scale: float = 1.0) -> TaskSet:
     """Build a named scenario from registry datasets.
 
-    ``scenario`` ∈ {"sgsc", "sgdc", "mgod", "mgdd"}.  For ``mgdd``,
-    ``dataset_name`` is "cite2cora" (the paper's configuration) or a
-    "source2target" string of registry names.
+    ``scenario`` ∈ {"sgsc", "sgdc", "mgod", "mgdd", "temporal"}.  For
+    ``mgdd``, ``dataset_name`` is "cite2cora" (the paper's
+    configuration) or a "source2target" string of registry names.
     """
     key = scenario.lower()
     if key == "sgsc":
         return make_sgsc_tasks(load_dataset(dataset_name, scale=scale), config)
     if key == "sgdc":
         return make_sgdc_tasks(load_dataset(dataset_name, scale=scale), config)
+    if key == "temporal":
+        return make_temporal_tasks(load_dataset(dataset_name, scale=scale),
+                                   config)
     if key == "mgod":
         return make_mgod_tasks(load_dataset(dataset_name, scale=scale), config)
     if key == "mgdd":
@@ -210,4 +293,4 @@ def make_scenario(scenario: str, dataset_name: str, config: ScenarioConfig,
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
-SCENARIOS = ("sgsc", "sgdc", "mgod", "mgdd")
+SCENARIOS = ("sgsc", "sgdc", "mgod", "mgdd", "temporal")

@@ -108,6 +108,7 @@ class Task:
         self.use_structural = use_structural
         self._features: Optional[np.ndarray] = None
         self._feature_config: Optional[Tuple[bool, bool]] = None
+        self._feature_version: int = -1
         self._support_features: Optional[np.ndarray] = None
         self._support_features_key: Optional[tuple] = None
         self._label_stack: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
@@ -132,11 +133,14 @@ class Task:
         if use_structural is None:
             use_structural = self.use_structural
         config = (use_attributes, use_structural)
-        if self._features is None or self._feature_config != config:
+        version = getattr(self.graph, "data_version", 0)
+        if self._features is None or self._feature_config != config \
+                or self._feature_version != version:
             self._features = node_feature_matrix(
                 self.graph, use_attributes=use_attributes,
                 use_structural=use_structural)
             self._feature_config = config
+            self._feature_version = version
         return self._features
 
     def support_features(self, use_attributes: Optional[bool] = None,
@@ -153,7 +157,8 @@ class Task:
         from ..gnn.encoder import make_support_features
 
         features = self.features(use_attributes, use_structural)
-        key = (self._feature_config, tuple(id(e) for e in self.support))
+        key = (self._feature_config, self._feature_version,
+               tuple(id(e) for e in self.support))
         if self._support_features is None or self._support_features_key != key:
             self._support_features = make_support_features(features, self.support)
             self._support_features_key = key
@@ -188,6 +193,28 @@ class Task:
                                      np.concatenate(targets))
             self._label_stack_key = key
         return self._label_stack
+
+    def invalidate_feature_caches(self) -> None:
+        """Drop every cached feature view after the task graph mutated.
+
+        :meth:`features` and :meth:`support_features` cache matrices
+        computed from the graph's attributes and structure; after a
+        :class:`~repro.graph.delta.GraphDelta` patches the graph they
+        describe a state that no longer exists, and an encoder forward
+        mixing stale features with repaired operators would produce a
+        context that matches *neither* the pre- nor the post-delta graph.
+        The engine's delta path calls this for every known task on the
+        mutated graph (:meth:`repro.api.engine.CommunitySearchEngine.apply_delta`);
+        the label stack is graph-independent and survives.  Tasks nobody
+        calls this on are covered anyway: :meth:`features` validates its
+        cache against ``graph.data_version``, which every sanctioned
+        mutation bumps.
+        """
+        self._features = None
+        self._feature_config = None
+        self._feature_version = -1
+        self._support_features = None
+        self._support_features_key = None
 
     def all_examples(self) -> List[QueryExample]:
         return self.support + self.queries

@@ -23,7 +23,8 @@ from repro.utils import make_rng
 _FLOAT64_PINNED_MODULES = {"test_tensor", "test_graph_batch", "test_api",
                            "test_loss_sparse", "test_init_misc",
                            "test_properties", "test_index_dtype",
-                           "test_fused_kernels", "test_context_storage"}
+                           "test_fused_kernels", "test_context_storage",
+                           "test_graph_delta"}
 
 
 def pytest_configure(config):

@@ -418,3 +418,246 @@ class TestInferHardening:
             prediction.probabilities[:] = -1.0
         for example, original in zip(test_task.queries, before):
             np.testing.assert_array_equal(example.membership, original)
+
+
+# ----------------------------------------------------------------------
+# Streaming deltas through the engine (PR 9)
+# ----------------------------------------------------------------------
+def _chain_task(n: int = 48, dim: int = 6, seed: int = 11):
+    """A path graph plus a manual 1-shot task whose labelled nodes all
+    sit in the first few positions — deltas at the far end provably miss
+    the support's k-hop neighbourhood."""
+    from repro.graph import Graph
+    from repro.tasks import QueryExample, Task
+
+    rng = make_rng(seed)
+    edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    graph = Graph(n, edges, attributes=rng.standard_normal((n, dim)))
+
+    def example(query, positives, negatives):
+        membership = np.zeros(n, dtype=bool)
+        membership[query] = True
+        membership[positives] = True
+        return QueryExample(query=query, positives=np.array(positives),
+                            negatives=np.array(negatives),
+                            membership=membership)
+
+    support = [example(2, [1, 3], [5, 6])]
+    queries = [example(1, [0, 2], [6, 7])]
+    return Task(graph, support, queries, name="chain",
+                use_attributes=True, use_structural=False)
+
+
+def _chain_model(task, seed: int = 3):
+    in_dim = task.features().shape[1]
+    return CGNP(in_dim, CGNPConfig(hidden_dim=8, num_layers=2,
+                                   conv="gcn", decoder="ip"), make_rng(seed))
+
+
+class TestEngineStreamingDeltas:
+    def test_far_delta_keeps_context_and_answers(self):
+        """A delta outside the support's k-hop frontier repairs the
+        operators but keeps the cached context: answers stay bitwise the
+        pre-delta answers (the documented coherence mode) and no
+        re-encode happens."""
+        from repro.graph import GraphDelta
+
+        task = _chain_task()
+        engine = CommunitySearchEngine(_chain_model(task))
+        engine.attach(task)
+        nodes = [0, 1, 2]
+        before = engine.predict_proba(nodes)
+        report = engine.apply_delta(GraphDelta(add_edges=[[40, 44]]), task)
+        assert report.ops_repaired == 1
+        stats = engine.stats()
+        assert stats.deltas_applied == 1
+        assert stats.rows_repaired > 0
+        assert stats.contexts_dirtied == 0
+        after = engine.predict_proba(nodes)
+        np.testing.assert_array_equal(before, after)
+        assert engine.stats().contexts_encoded == 1     # never re-encoded
+
+    def test_near_delta_dirties_context_and_reencodes(self):
+        """A delta inside the support's frontier pops the cached context;
+        the next answer is bitwise the answer of a cold engine attached
+        to an identical post-delta task."""
+        from repro.graph import Graph, GraphDelta
+        from repro.tasks import Task
+
+        task = _chain_task()
+        model = _chain_model(task)
+        engine = CommunitySearchEngine(model)
+        engine.attach(task)
+        engine.predict_proba([0])
+        report = engine.apply_delta(GraphDelta(add_edges=[[2, 5]]), task)
+        assert report.ops_repaired == 1
+        stats = engine.stats()
+        assert stats.contexts_dirtied == 1
+        answer = engine.predict_proba([0, 1])
+        assert engine.stats().contexts_encoded == 2     # re-encoded once
+
+        reference_graph = Graph(task.graph.num_nodes, task.graph.edges,
+                                attributes=np.asarray(task.graph.attributes))
+        reference = CommunitySearchEngine(model)
+        reference_task = Task(reference_graph, task.support, task.queries,
+                              use_attributes=True, use_structural=False)
+        reference.attach(reference_task)
+        np.testing.assert_array_equal(answer,
+                                      reference.predict_proba([0, 1]))
+
+    def test_repair_false_always_dirties(self):
+        from repro.graph import GraphDelta
+
+        task = _chain_task()
+        engine = CommunitySearchEngine(_chain_model(task))
+        engine.attach(task)
+        engine.predict_proba([0])
+        engine.apply_delta(GraphDelta(add_edges=[[40, 44]]), task,
+                           repair=False)
+        stats = engine.stats()
+        assert stats.contexts_dirtied == 1
+        assert stats.rows_repaired == 0
+
+    def test_evicted_context_does_not_serve_torn_state(self):
+        """Regression: a same-graph task whose context was LRU-evicted
+        before the delta must still have its feature caches invalidated
+        — its next encode must combine *post-delta* features with
+        *post-delta* operators, never a torn mixture."""
+        from repro.graph import Graph, GraphDelta
+        from repro.tasks import Task
+
+        task = _chain_task()
+        model = _chain_model(task)
+        # A second task on the SAME graph object.
+        sibling = Task(task.graph, task.support, task.queries,
+                       name="sibling", use_attributes=True,
+                       use_structural=False)
+        engine = CommunitySearchEngine(model, max_cached_contexts=1)
+        engine.attach(task)
+        engine.attach(sibling)          # evicts task's context (LRU=1)
+        engine.apply_delta(GraphDelta(
+            add_edges=[[2, 5]],
+            update_attributes=(np.array([1]),
+                               np.ones((1, task.graph.num_attributes)))),
+            sibling)
+        answer = engine.predict_proba([0], task)
+
+        reference_graph = Graph(task.graph.num_nodes, task.graph.edges,
+                                attributes=np.asarray(task.graph.attributes))
+        reference = CommunitySearchEngine(model)
+        reference.attach(Task(reference_graph, task.support, task.queries,
+                              use_attributes=True, use_structural=False))
+        np.testing.assert_array_equal(answer, reference.predict_proba([0]))
+
+    @pytest.mark.parametrize("storage", ["int8", "float16"])
+    def test_compact_context_storage_reencodes_fresh(self, storage):
+        """Regression: dirtied contexts re-encode correctly under the
+        compact context-cache widths, matching a cold compact engine."""
+        from repro.graph import Graph, GraphDelta
+        from repro.tasks import Task
+
+        task = _chain_task()
+        model = _chain_model(task)
+        engine = CommunitySearchEngine(model, context_storage=storage)
+        engine.attach(task)
+        engine.predict_proba([0])
+        engine.apply_delta(GraphDelta(add_edges=[[2, 5]]), task)
+        assert engine.stats().contexts_dirtied == 1
+        answer = engine.predict_proba([0, 1])
+
+        reference_graph = Graph(task.graph.num_nodes, task.graph.edges,
+                                attributes=np.asarray(task.graph.attributes))
+        reference = CommunitySearchEngine(model, context_storage=storage)
+        reference.attach(Task(reference_graph, task.support, task.queries,
+                              use_attributes=True, use_structural=False))
+        np.testing.assert_array_equal(answer,
+                                      reference.predict_proba([0, 1]))
+
+    def test_readers_never_see_torn_answers(self):
+        """The PR 6 thread-safety contract extended to writes: four
+        reader threads hammer predict_proba while a writer streams
+        deltas.  With the ip decoder every observed answer must be
+        bitwise one of the D+1 snapshot answers — pre- or post- some
+        delta, never a mixture."""
+        import threading
+        import time
+
+        from repro.graph import Graph, GraphDelta
+        from repro.tasks import Task
+
+        task = _chain_task()
+        model = _chain_model(task)
+        n = task.graph.num_nodes
+        deltas = [GraphDelta(add_edges=[[2, 6]]),
+                  GraphDelta(add_edges=[[40, 44]]),
+                  GraphDelta(remove_edges=[[2, 6]]),
+                  GraphDelta(add_edges=[[1, 44]]),
+                  GraphDelta(update_attributes=(
+                      np.array([2]), np.ones((1, 6)))),
+                  GraphDelta(add_edges=[[3, 30]])]
+
+        # Reference answers for every delta depth, from cold engines on
+        # reconstructed graphs.
+        nodes = [0, 1, 2]
+        # np.array (not asarray): Graph.__init__ adopts a matching-dtype
+        # buffer without copying, and the attribute delta below patches it
+        # in place — an aliased scratch graph would corrupt the live task.
+        scratch = Graph(n, task.graph.edges,
+                        attributes=np.array(task.graph.attributes))
+        snapshots = []
+        for depth in range(len(deltas) + 1):
+            ref_graph = Graph(n, scratch.edges,
+                              attributes=np.array(scratch.attributes))
+            ref = CommunitySearchEngine(model)
+            ref.attach(Task(ref_graph, task.support, task.queries,
+                            use_attributes=True, use_structural=False))
+            snapshots.append(ref.predict_proba(nodes))
+            if depth < len(deltas):
+                scratch.apply_delta(deltas[depth])
+
+        engine = CommunitySearchEngine(model)
+        engine.attach(task)
+        engine.predict_proba(nodes)
+        seen, errors = [], []
+        done = threading.Event()
+
+        def reader():
+            try:
+                answers = []
+                while not done.is_set():
+                    answers.append(engine.predict_proba(nodes, task))
+                answers.append(engine.predict_proba(nodes, task))
+                seen.append(answers)
+            except Exception as exc:    # pragma: no cover - failure path
+                errors.append(exc)
+
+        def writer():
+            try:
+                for delta in deltas:
+                    engine.apply_delta(delta, task)
+                    time.sleep(0.005)
+            finally:
+                done.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert engine.stats().deltas_applied == len(deltas)
+        matched = 0
+        for answers in seen:
+            for answer in answers:
+                assert any(np.array_equal(answer, snap)
+                           for snap in snapshots), \
+                    "observed an answer matching no pre/post-delta snapshot"
+                matched += 1
+        assert matched > 0
+        # The final answers must reflect the final graph, not a stale
+        # context: the last delta dirtied the support frontier.
+        np.testing.assert_array_equal(seen[0][-1], snapshots[-1])

@@ -1,0 +1,385 @@
+"""Differential tests for :mod:`repro.graph.delta`.
+
+The contract under test: after ``Graph.apply_delta`` patches the CSR
+structure and repairs the cached message-passing operators in place,
+every operator family is **bitwise identical** to what a cold build on a
+fresh ``Graph`` holding the final edge set produces — across backends,
+index dtypes, element dtypes and shard counts.  Bitwise, not allclose:
+the repair path re-derives normalisation values with the exact
+cold-build expressions, and any drift would silently break the engine's
+"attach once, stream forever" story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import graph_shard_ops
+from repro.gnn.conv import GRAPH_OPS_KEY, graph_ops
+from repro.graph import Graph, GraphDelta, ShardedGraph
+from repro.graph.delta import GRAPH_OPS_PREFIX, dirty_frontier
+from repro.nn.backend import index_precision, precision, resolve_dtype, \
+    resolve_index_dtype, use_backend
+from repro.utils import make_rng
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def csr_equal(a, b) -> bool:
+    return (np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices)
+            and a.indices.dtype == b.indices.dtype
+            and np.array_equal(a.data, b.data)
+            and a.data.dtype == b.data.dtype)
+
+
+def ops_equal(a, b) -> bool:
+    return (csr_equal(a.norm_adj, b.norm_adj)
+            and csr_equal(a.row_norm_adj, b.row_norm_adj)
+            and csr_equal(a.row_norm_adj_t, b.row_norm_adj_t)
+            and np.array_equal(a.edge_src, b.edge_src)
+            and np.array_equal(a.edge_dst, b.edge_dst)
+            and a.edge_src.dtype == b.edge_src.dtype)
+
+
+def random_graph(rng: np.random.Generator, num_attributes: int = 5) -> Graph:
+    n = int(rng.integers(8, 48))
+    m = int(rng.integers(n, 4 * n))
+    edges = rng.integers(0, n, size=(m, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return Graph(n, edges,
+                 attributes=rng.standard_normal((n, num_attributes)))
+
+
+def random_delta(graph: Graph, rng: np.random.Generator,
+                 allow_nodes: bool = True) -> GraphDelta:
+    """A compound delta: additions, removals of live edges, optional
+    appended nodes and attribute rewrites — all in one batch."""
+    n = graph.num_nodes
+    add = rng.integers(0, n, size=(int(rng.integers(1, 6)), 2))
+    add = add[add[:, 0] != add[:, 1]]
+    remove = None
+    if graph.num_edges:
+        picks = rng.choice(graph.num_edges,
+                           size=min(3, graph.num_edges), replace=False)
+        remove = graph.edges[picks]
+    add_nodes = int(rng.integers(0, 3)) if allow_nodes else 0
+    node_attributes = (rng.standard_normal((add_nodes,
+                                            graph.num_attributes))
+                       if add_nodes else None)
+    update = None
+    if rng.integers(0, 2):
+        rows = np.unique(rng.integers(0, n, size=2))
+        update = (rows,
+                  rng.standard_normal((rows.size, graph.num_attributes)))
+    return GraphDelta(add_edges=add if add.size else None,
+                      remove_edges=remove, add_nodes=add_nodes,
+                      node_attributes=node_attributes,
+                      update_attributes=update)
+
+
+def fresh_dense(graph: Graph) -> Graph:
+    return Graph(graph.num_nodes, graph.edges,
+                 attributes=np.asarray(graph.attributes))
+
+
+# ----------------------------------------------------------------------
+# Module contracts
+# ----------------------------------------------------------------------
+class TestContracts:
+    def test_cache_key_prefix_matches_conv(self):
+        # delta.py duplicates the literal to avoid a circular import; if
+        # conv.py ever renames its key family, repair would silently
+        # stop finding cached operators — this is the tripwire.
+        assert GRAPH_OPS_PREFIX == GRAPH_OPS_KEY
+
+    def test_empty_delta_is_noop(self):
+        graph = random_graph(make_rng(0))
+        before = graph.edges.copy()
+        report = graph.apply_delta(GraphDelta())
+        assert not report.dirty
+        assert np.array_equal(graph.edges, before)
+
+    def test_removing_absent_edge_is_noop(self):
+        graph = random_graph(make_rng(1))
+        absent = np.array([[0, graph.num_nodes - 1]])
+        if any((graph.edges == np.sort(absent)).all(axis=1)):
+            pytest.skip("random graph happened to contain the probe edge")
+        report = graph.apply_delta(GraphDelta(remove_edges=absent))
+        assert report.edges_removed == 0 and not report.structural
+
+    def test_self_loops_dropped_like_graph_canonicalisation(self):
+        graph = Graph(5, [[0, 1], [1, 2]])
+        report = graph.apply_delta(GraphDelta(
+            add_edges=np.array([[3, 3], [0, 2]])))
+        assert report.edges_added == 1
+        assert [0, 2] in graph.edges.tolist()
+        assert [3, 3] not in graph.edges.tolist()
+
+    def test_node_attribute_shape_enforced(self):
+        graph = random_graph(make_rng(2))
+        with pytest.raises(ValueError):
+            graph.apply_delta(GraphDelta(add_nodes=2))  # missing rows
+
+    def test_report_counts(self):
+        graph = Graph(6, [[0, 1], [1, 2], [2, 3]])
+        report = graph.apply_delta(GraphDelta(
+            add_edges=[[3, 4], [0, 1]], remove_edges=[[1, 2], [4, 5]]))
+        assert report.edges_added == 1       # [0,1] already present
+        assert report.edges_removed == 1     # [4,5] never existed
+        assert graph.num_edges == 3
+
+
+class TestPatchedEdgeList:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_patched_edges_match_fresh_canonicalisation(self, seed):
+        rng = make_rng(seed)
+        graph = random_graph(rng)
+        graph.apply_delta(random_delta(graph, rng))
+        rebuilt = Graph(graph.num_nodes, graph.edges)
+        assert np.array_equal(graph.edges, rebuilt.edges)
+        assert graph.num_edges == rebuilt.num_edges
+
+
+# ----------------------------------------------------------------------
+# Dense differential: patched operators vs cold rebuild, bitwise
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["numpy", "threaded"])
+@pytest.mark.parametrize("index_dtype", ["int32", "int64"])
+class TestDenseDifferential:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_repaired_ops_bitwise_equal_cold_build(self, backend,
+                                                   index_dtype, seed):
+        with use_backend(backend), index_precision(index_dtype):
+            rng = make_rng(seed)
+            graph = random_graph(rng)
+            graph_ops(graph)                     # build, then mutate
+            graph.apply_delta(random_delta(graph, rng))
+            assert ops_equal(graph_ops(graph), graph_ops(fresh_dense(graph)))
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_consecutive_deltas_compound(self, backend, index_dtype, seed):
+        with use_backend(backend), index_precision(index_dtype):
+            rng = make_rng(seed)
+            graph = random_graph(rng)
+            graph_ops(graph)
+            for _ in range(3):
+                graph.apply_delta(random_delta(graph, rng))
+            assert ops_equal(graph_ops(graph), graph_ops(fresh_dense(graph)))
+
+
+class TestDensePrecisionWidths:
+    """The conftest pin runs this module at float64; the repair contract
+    is width-agnostic, so spot-check the float32 serving width too."""
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_float32_parity(self, seed):
+        with precision("float32"):
+            rng = make_rng(seed)
+            graph = random_graph(rng)
+            graph_ops(graph)
+            graph.apply_delta(random_delta(graph, rng))
+            assert ops_equal(graph_ops(graph), graph_ops(fresh_dense(graph)))
+
+
+# ----------------------------------------------------------------------
+# Sharded differential
+# ----------------------------------------------------------------------
+def sharded_pair(rng: np.random.Generator, num_shards: int):
+    n = int(rng.integers(20, 60))
+    m = int(rng.integers(2 * n, 5 * n))
+    edges = rng.integers(0, n, size=(m, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    attrs = rng.standard_normal((n, 6))
+    return ShardedGraph(n, edges, attributes=attrs, num_shards=num_shards)
+
+
+def force_build_all(sharded: ShardedGraph) -> None:
+    for shard in graph_shard_ops(sharded):
+        shard.norm_adj, shard.row_norm_adj, shard.edge_src, \
+            shard.edge_dst_local, shard.halo
+
+
+def assert_shards_equal(patched: ShardedGraph) -> None:
+    fresh = ShardedGraph(patched.num_nodes, patched.edges,
+                         attributes=np.asarray(patched.attributes),
+                         num_shards=patched.num_shards)
+    assert np.array_equal(patched.shard_bounds, fresh.shard_bounds)
+    for a, b in zip(graph_shard_ops(patched), graph_shard_ops(fresh)):
+        assert np.array_equal(a.halo, b.halo)
+        assert csr_equal(a.norm_adj, b.norm_adj)
+        assert csr_equal(a.row_norm_adj, b.row_norm_adj)
+        assert np.array_equal(a.edge_src, b.edge_src)
+        assert np.array_equal(a.edge_dst_local, b.edge_dst_local)
+
+
+@pytest.mark.parametrize("num_shards", [1, 3])
+class TestShardedDifferential:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_shard_ops_bitwise_equal_cold_build(self, num_shards, seed):
+        rng = make_rng(seed)
+        sharded = sharded_pair(rng, num_shards)
+        force_build_all(sharded)       # repair must fix *built* entries
+        sharded.apply_delta(random_delta(sharded, rng, allow_nodes=False))
+        assert_shards_equal(sharded)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_appended_nodes_recompute_shard_bounds(self, num_shards, seed):
+        rng = make_rng(seed)
+        sharded = sharded_pair(rng, num_shards)
+        force_build_all(sharded)
+        sharded.apply_delta(GraphDelta(
+            add_nodes=2, node_attributes=rng.standard_normal((2, 6)),
+            add_edges=[[0, sharded.num_nodes - 1]]))
+        assert_shards_equal(sharded)
+
+
+# ----------------------------------------------------------------------
+# Cache accounting: what survives a delta, what must not
+# ----------------------------------------------------------------------
+class TestCacheAccounting:
+    def _dense_key(self) -> str:
+        return (f"{GRAPH_OPS_KEY}.{resolve_dtype().name}"
+                f".{resolve_index_dtype().name}")
+
+    def test_dense_entry_repaired_in_place(self):
+        graph = random_graph(make_rng(3))
+        stale = graph_ops(graph)
+        report = graph.apply_delta(GraphDelta(add_edges=[[0, 1], [2, 5]]))
+        assert report.ops_repaired == 1 and report.ops_dropped == 0
+        cache = graph.__dict__["_ops_cache"]
+        assert self._dense_key() in cache
+        assert cache[self._dense_key()] is not stale
+
+    def test_repair_false_drops_instead(self):
+        graph = random_graph(make_rng(4))
+        graph_ops(graph)
+        report = graph.apply_delta(GraphDelta(add_edges=[[0, 1], [2, 5]]),
+                                   repair=False)
+        assert report.ops_repaired == 0 and report.ops_dropped >= 1
+        assert self._dense_key() not in graph.__dict__["_ops_cache"]
+        # the next access rebuilds from the patched structure
+        assert ops_equal(graph_ops(graph), graph_ops(fresh_dense(graph)))
+
+    def test_untouched_shards_keep_their_entries(self):
+        """A delta confined to the last shard's interior must not evict
+        the first shard's cached operators (nor its halo)."""
+        n, shards = 90, 3
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+        sharded = ShardedGraph(n, edges,
+                               attributes=make_rng(5).standard_normal((n, 4)),
+                               num_shards=shards)
+        force_build_all(sharded)
+        cache = sharded.__dict__["_ops_cache"]
+        kept_key = f"{self._dense_key()}.shard0"
+        assert kept_key in cache
+        kept = cache[kept_key]
+        report = sharded.apply_delta(GraphDelta(add_edges=[[80, 85]]))
+        assert cache[kept_key] is kept           # shard 0 untouched
+        assert f"{self._dense_key()}.shard2" not in cache
+        assert report.ops_dropped >= 1
+        assert_shards_equal(sharded)
+
+    def test_halo_overlap_marks_neighbour_shard_dirty(self):
+        """An edge whose endpoints sit inside shard 2 but within shard
+        1's halo must evict shard 1 too: its compacted column space
+        references those rows."""
+        n, shards = 90, 3
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+        sharded = ShardedGraph(n, edges,
+                               attributes=make_rng(6).standard_normal((n, 4)),
+                               num_shards=shards)
+        force_build_all(sharded)
+        cache = sharded.__dict__["_ops_cache"]
+        # node 60 is shard 2's first row and sits in shard 1's halo (the
+        # chain edge 59-60 pulls it in).
+        sharded.apply_delta(GraphDelta(add_edges=[[60, 62]]))
+        assert f"{self._dense_key()}.shard1" not in cache
+        assert_shards_equal(sharded)
+
+    def test_memmap_sharded_rejects_add_nodes(self, tmp_path):
+        n = 24
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+        attrs = make_rng(7).standard_normal((n, 4))
+        with ShardedGraph(n, edges, attributes=attrs, num_shards=2,
+                          memmap_dir=str(tmp_path)) as sharded:
+            with pytest.raises(ValueError):
+                sharded.apply_delta(GraphDelta(
+                    add_nodes=1, node_attributes=np.zeros((1, 4))))
+            # plain edge deltas still work against memmapped features
+            sharded.apply_delta(GraphDelta(add_edges=[[0, 5]]))
+            assert_shards_equal(sharded)
+
+
+class TestInvalidationBoundary:
+    """``invalidate_cached_ops`` must match whole dotted components: the
+    family "a.b" owns "a.b.x" but NOT "a.b_t" (a sibling family whose
+    name merely extends the prefix string)."""
+
+    def test_prefix_is_component_wise(self):
+        graph = random_graph(make_rng(8))
+        cache = graph.__dict__.setdefault("_ops_cache", {})
+        cache["fam.norm_adj"] = 1
+        cache["fam.norm_adj.float64.int64"] = 2
+        cache["fam.norm_adj_t"] = 3
+        cache["fam.norm_adj_t.float64.int64"] = 4
+        graph.invalidate_cached_ops("fam.norm_adj")
+        assert "fam.norm_adj" not in cache
+        assert "fam.norm_adj.float64.int64" not in cache
+        assert cache["fam.norm_adj_t"] == 3
+        assert cache["fam.norm_adj_t.float64.int64"] == 4
+
+    def test_shard_suffixes_belong_to_their_family(self):
+        graph = random_graph(make_rng(9))
+        cache = graph.__dict__.setdefault("_ops_cache", {})
+        elem, index = resolve_dtype().name, resolve_index_dtype().name
+        cache[f"{GRAPH_OPS_KEY}.{elem}.{index}.shard0"] = "s0"
+        graph.invalidate_cached_ops(GRAPH_OPS_KEY)
+        assert not [k for k in cache if k.startswith(GRAPH_OPS_KEY)]
+
+
+# ----------------------------------------------------------------------
+# Dirty-frontier semantics (what the engine's context tracking rides on)
+# ----------------------------------------------------------------------
+class TestDirtyFrontier:
+    def test_frontier_covers_removed_edge_endpoints(self):
+        graph = Graph(10, [[0, 1], [1, 2], [2, 3], [5, 6], [7, 8]])
+        graph_ops(graph)
+        report = graph.apply_delta(GraphDelta(remove_edges=[[1, 2]]))
+        frontier = dirty_frontier(graph, report, hops=1)
+        # 1 and 2 changed degree; their *current* neighbours (0 and 3)
+        # hold rescaled normalisation values.
+        for node in (0, 1, 2, 3):
+            assert node in frontier
+        assert 7 not in frontier
+
+    def test_frontier_grows_with_hops(self):
+        graph = Graph(8, [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]])
+        graph_ops(graph)
+        report = graph.apply_delta(GraphDelta(add_edges=[[0, 7]]))
+        one = dirty_frontier(graph, report, hops=1)
+        two = dirty_frontier(graph, report, hops=2)
+        assert set(one.tolist()) <= set(two.tolist())
+        assert 2 in two and 2 not in one
+
+    def test_attribute_update_seeds_frontier(self):
+        graph = Graph(6, [[0, 1], [1, 2], [3, 4]],
+                      attributes=np.zeros((6, 3)))
+        report = graph.apply_delta(GraphDelta(
+            update_attributes=(np.array([3]), np.ones((1, 3)))))
+        frontier = dirty_frontier(graph, report, hops=1)
+        assert 3 in frontier and 4 in frontier and 0 not in frontier
