@@ -40,6 +40,7 @@ from . import (
     eval,
     gnn,
     graph,
+    meta,
     nn,
     tasks,
     utils,
@@ -65,11 +66,14 @@ from .core import (
 from .datasets import load_dataset
 from .eval import (
     Metrics,
+    ResultsStore,
+    RunRecord,
     binary_metrics,
     community_metrics,
     evaluate_method,
     format_metric_table,
 )
+from .meta import MethodSelector, task_meta_features
 from .graph import Graph
 from .tasks import QueryExample, ScenarioConfig, Task, TaskSet, make_scenario
 from .utils import make_rng
@@ -86,6 +90,7 @@ __all__ = [
     "baselines",
     "algorithms",
     "eval",
+    "meta",
     "utils",
     "api",
     "CommunitySearchEngine",
@@ -115,5 +120,9 @@ __all__ = [
     "community_metrics",
     "evaluate_method",
     "format_metric_table",
+    "ResultsStore",
+    "RunRecord",
+    "MethodSelector",
+    "task_meta_features",
     "__version__",
 ]

@@ -32,11 +32,12 @@ bundle's recorded training precision.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import os
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +52,8 @@ from ..tasks.task import Task
 from .bundle import ModelBundle
 
 __all__ = ["CommunitySearchEngine", "EngineStats"]
+
+logger = logging.getLogger(__name__)
 
 
 def _json_native(value: Any) -> Any:
@@ -146,6 +149,14 @@ class EngineStats:
     by degree-local repair, and cached task contexts invalidated for
     lazy re-encoding because the delta's dirty frontier reached their
     support sets.
+
+    ``auto_selections`` / ``auto_fallbacks`` / ``auto_select_seconds`` /
+    ``method_picks`` instrument the ``method="auto"`` path
+    (:meth:`CommunitySearchEngine.answer_task`): tasks routed by the
+    :class:`~repro.meta.MethodSelector`, tasks served by the native
+    model because the selector abstained (or none is configured), wall
+    clock spent extracting meta-features + scoring candidates, and how
+    often each method (by name, native model included) actually answered.
     """
 
     queries_served: int = 0
@@ -168,6 +179,10 @@ class EngineStats:
     deltas_applied: int = 0
     rows_repaired: int = 0
     contexts_dirtied: int = 0
+    auto_selections: int = 0
+    auto_fallbacks: int = 0
+    auto_select_seconds: float = 0.0
+    method_picks: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def queries_per_second(self) -> float:
@@ -250,7 +265,8 @@ class CommunitySearchEngine:
 
     def __init__(self, model: CGNP, threshold: float = 0.5,
                  max_cached_contexts: int = 8,
-                 context_storage: Optional[str] = None):
+                 context_storage: Optional[str] = None,
+                 selector=None, method_pool=None):
         if max_cached_contexts < 1:
             raise ValueError("max_cached_contexts must be >= 1")
         model.eval()
@@ -263,6 +279,11 @@ class CommunitySearchEngine:
         self._active: Optional[Task] = None
         self._stats = EngineStats()
         self._lock = threading.RLock()
+        self.selector = None
+        self.method_pool: Dict[str, Any] = {}
+        self._meta_cache: "OrderedDict[Tuple[int, str], Dict[str, float]]" = \
+            OrderedDict()
+        self.configure_auto(selector=selector, method_pool=method_pool)
 
     @property
     def _accum_dtype(self) -> Optional[np.dtype]:
@@ -593,6 +614,147 @@ class CommunitySearchEngine:
         return result
 
     # ------------------------------------------------------------------
+    # Meta-method selection (method="auto")
+    # ------------------------------------------------------------------
+    def configure_auto(self, selector=None,
+                       method_pool=None) -> "CommunitySearchEngine":
+        """Install the ``method="auto"`` routing table.
+
+        Parameters
+        ----------
+        selector:
+            A fitted :class:`repro.meta.MethodSelector` (duck-typed:
+            anything with ``select(features, candidates) -> name|None``).
+            ``None`` keeps/clears the selector — :meth:`answer_task` then
+            always falls back to the native model.
+        method_pool:
+            ``{name: fitted CommunitySearchMethod}`` the selector may
+            route whole tasks to.  Methods must already be meta-fitted;
+            the engine never trains them.  Duck-typed (anything with
+            ``predict_task(task)``) so this module keeps importing
+            nothing from :mod:`repro.baselines`.
+        """
+        if selector is not None and not callable(
+                getattr(selector, "select", None)):
+            raise TypeError(
+                f"selector must expose select(features, candidates), got "
+                f"{type(selector).__name__}")
+        pool = dict(method_pool or {})
+        for name, candidate in pool.items():
+            if not callable(getattr(candidate, "predict_task", None)):
+                raise TypeError(
+                    f"method_pool[{name!r}] must expose predict_task(task), "
+                    f"got {type(candidate).__name__}")
+        with self._lock:
+            if selector is not None:
+                self.selector = selector
+            if method_pool is not None:
+                self.method_pool = pool
+        return self
+
+    @property
+    def native_method(self) -> str:
+        """The name :meth:`answer_task` reports for the engine's own model
+        (the bundle's recorded method name when available)."""
+        if self.bundle is not None and getattr(self.bundle, "method", None):
+            return self.bundle.method
+        return f"CGNP-{self.model.config.decoder.upper()}"
+
+    def _task_meta_features(self, task: Task,
+                            scenario: str) -> Dict[str, float]:
+        """Meta-features of ``task``, cached (extraction is cheap but the
+        auto path pays it per call otherwise; lock already held)."""
+        key = (id(task), scenario)
+        cached = self._meta_cache.get(key)
+        if cached is not None:
+            self._meta_cache.move_to_end(key)
+            return cached
+        from ..meta import task_meta_features
+
+        features = task_meta_features(task, scenario)
+        self._meta_cache[key] = features
+        while len(self._meta_cache) > 4 * self.max_cached_contexts:
+            self._meta_cache.popitem(last=False)
+        return features
+
+    def answer_task(self, task: Optional[Task] = None, method: str = "auto",
+                    threshold: Optional[float] = None, scenario: str = "",
+                    ) -> List["QueryPrediction"]:
+        """Answer every held-out query of ``task``, routing by method.
+
+        ``method="auto"`` asks the configured selector to pick from the
+        method pool plus the engine's own model, based on the task's
+        meta-features (cached per task).  The contract is
+        **fallback-safe**: with no selector, an abstaining selector
+        (untrained / out-of-distribution task / unknown candidates), or a
+        pick naming the native model, the engine serves the task itself
+        exactly as :meth:`predict_proba` would — counted in
+        ``auto_fallbacks`` (and logged) for the abstain cases, so a stale
+        selector degrades to pre-``auto`` behaviour, visibly.  A pool
+        pick delegates the whole task to that fitted method.
+
+        Any explicit ``method=`` name (the native name or a pool key)
+        routes directly without consulting the selector.
+
+        Returns one :class:`~repro.core.infer.QueryPrediction` per query
+        of ``task.queries``; picks land in the ``method_picks`` counter.
+        """
+        task = self._require_task(task)
+        native = self.native_method
+        with self._lock:
+            if method == "auto":
+                chosen = native
+                if self.selector is not None:
+                    candidates = list(self.method_pool) + [native]
+                    start = time.perf_counter()
+                    features = self._task_meta_features(task, scenario)
+                    pick = self.selector.select(features, candidates)
+                    self._stats.auto_select_seconds += \
+                        time.perf_counter() - start
+                    if pick is None:
+                        self._stats.auto_fallbacks += 1
+                        logger.info(
+                            "auto: selector abstained on task %r; falling "
+                            "back to native %s", task.name, native)
+                    else:
+                        self._stats.auto_selections += 1
+                        chosen = pick
+                else:
+                    self._stats.auto_fallbacks += 1
+            else:
+                lookup = {name.lower(): name for name in self.method_pool}
+                if method.lower() == native.lower():
+                    chosen = native
+                elif method.lower() in lookup:
+                    chosen = lookup[method.lower()]
+                else:
+                    raise ValueError(
+                        f"unknown method {method!r}; this engine serves "
+                        f"{native!r} natively plus pool "
+                        f"{sorted(self.method_pool)}")
+            self._stats.method_picks[chosen] = \
+                self._stats.method_picks.get(chosen, 0) + 1
+            if chosen.lower() != native.lower():
+                return self.method_pool[chosen].predict_task(task)
+            return self._answer_task_native(task, threshold)
+
+    def _answer_task_native(self, task: Task,
+                            threshold: Optional[float]) -> List["QueryPrediction"]:
+        """Serve a whole task with the engine's own model: one cached
+        context, one batched decoder pass over every held-out query."""
+        from ..baselines.base import threshold_prediction
+
+        if not task.queries:
+            return []
+        queries = np.array([example.query for example in task.queries],
+                           dtype=np.int64)
+        probabilities = self._predict_validated(task, queries)
+        cutoff = self.threshold if threshold is None else float(threshold)
+        return [threshold_prediction(row, example.query, example.membership,
+                                     threshold=cutoff)
+                for row, example in zip(probabilities, task.queries)]
+
+    # ------------------------------------------------------------------
     # Streaming updates
     # ------------------------------------------------------------------
     def apply_delta(self, delta: GraphDelta, task: Optional[Task] = None,
@@ -679,11 +841,15 @@ class CommunitySearchEngine:
         with self._lock:
             resident, shards = ((0, 0) if self._active is None
                                 else graph_memory_profile(self._active.graph))
+            # method_picks is mutable: replace() would share the live dict
+            # with the snapshot, so copy it explicitly.
             return dataclasses.replace(self._stats,
                                        backend=get_backend().name,
                                        context_storage=self.context_storage,
                                        graph_resident_bytes=int(resident),
-                                       shard_count=int(shards))
+                                       shard_count=int(shards),
+                                       method_picks=dict(
+                                           self._stats.method_picks))
 
     def reset_stats(self) -> None:
         with self._lock:

@@ -78,6 +78,42 @@ class MethodSpec:
         """A copy of this spec with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
+    @classmethod
+    def from_profile(cls, name: str, profile, *, seed: int = 0,
+                     conv: str = "gat", aggregator: str = "sum") -> "MethodSpec":
+        """The spec for ``name`` with budgets scaled to ``profile``.
+
+        ``profile`` is duck-typed (this module imports nothing from the
+        rest of the package): any object exposing ``hidden_dim``,
+        ``num_layers``, ``cgnp_epochs``, ``pretrain_epochs``,
+        ``per_task_steps``, ``inner_steps_train`` and ``inner_steps_test``
+        works — in practice an
+        :class:`~repro.eval.experiments.ExperimentProfile`.  This is the
+        single profile → spec translation; the experiment harness and the
+        CLI both construct methods as
+        ``create_method(MethodSpec.from_profile(name, profile))``.
+
+        >>> class P:
+        ...     hidden_dim = 16; num_layers = 2; cgnp_epochs = 5
+        ...     pretrain_epochs = 2; per_task_steps = 6
+        ...     inner_steps_train = 2; inner_steps_test = 3
+        >>> MethodSpec.from_profile("CTC", P(), seed=7).hidden_dim
+        16
+        """
+        return cls(
+            name=name,
+            hidden_dim=profile.hidden_dim,
+            num_layers=profile.num_layers,
+            conv=conv,
+            aggregator=aggregator,
+            cgnp_epochs=profile.cgnp_epochs,
+            pretrain_epochs=profile.pretrain_epochs,
+            per_task_steps=profile.per_task_steps,
+            inner_steps_train=profile.inner_steps_train,
+            inner_steps_test=profile.inner_steps_test,
+            seed=seed,
+        )
+
 
 #: A factory maps a spec to a ready-to-fit method instance.
 MethodFactory = Callable[[MethodSpec], object]

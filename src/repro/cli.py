@@ -5,7 +5,10 @@ Usage (after install)::
     python -m repro.cli datasets
     python -m repro.cli methods
     python -m repro.cli run --scenario sgsc --dataset citeseer \
-        --methods CTC,Supervised,CGNP-IP --profile smoke --shots 1
+        --methods CTC,Supervised,CGNP-IP --profile smoke --shots 1 \
+        --store runs.jsonl
+    python -m repro.cli results runs.jsonl --filter method=CGNP-IP
+    python -m repro.cli select-train runs.jsonl --out selector.npz
     python -m repro.cli train --dataset cora --out model.npz
     python -m repro.cli query --dataset cora --model model.npz --node 42
     python -m repro.cli serve --dataset cora --model model.npz \
@@ -13,7 +16,11 @@ Usage (after install)::
     python -m repro.cli loadgen --dataset cora --model model.npz \
         --rates 50,200,800 --duration 2
 
-``run`` regenerates a table cell of the paper; ``train``/``query`` expose
+``run`` regenerates a table cell of the paper (``--store`` logs every
+evaluation to an append-only JSONL :class:`~repro.eval.store.ResultsStore`);
+``results`` aggregates a store into the pandas-free overview table and
+``select-train`` fits a :class:`~repro.meta.MethodSelector` from it —
+the artifact behind the engine's ``method="auto"``.  ``train``/``query`` expose
 the deployment loop: ``train`` meta-trains a CGNP and writes a
 self-describing :class:`~repro.api.bundle.ModelBundle`, ``query`` serves
 it through a :class:`~repro.api.engine.CommunitySearchEngine` — the
@@ -40,6 +47,7 @@ from .nn.backend import (available_backends, index_precision, make_backend,
 from .datasets import dataset_names, load_dataset
 from .eval import (
     PROFILES,
+    ResultsStore,
     format_generic_table,
     format_metric_table,
     format_time_table,
@@ -170,6 +178,45 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--times", action="store_true",
                      help="also print the wall-clock table (Fig. 3 style)")
+    run.add_argument("--store", default=None,
+                     help="append every evaluation to this results store "
+                          "(.jsonl): one record per test task plus an "
+                          "aggregate, for `repro results` and "
+                          "`repro select-train`")
+
+    results = sub.add_parser(
+        "results",
+        help="aggregate a results store into an overview table")
+    results.add_argument("store", help="results store (.jsonl) path")
+    results.add_argument("--by", default="method,scenario,dataset",
+                         help="comma-separated grouping fields "
+                              "(method, scenario, dataset, task, shots, seed)")
+    results.add_argument("--filter", nargs="*", default=[],
+                         metavar="FIELD=VALUE",
+                         help="equality filters, e.g. method=CGNP-IP "
+                              "scenario=sgsc shots=1")
+    results.add_argument("--include-aggregates", action="store_true",
+                         help="also count whole-task-set (task='*') "
+                              "summary records (default: per-task only)")
+
+    select_train = sub.add_parser(
+        "select-train",
+        help="fit a MethodSelector from a results store and save the "
+             "artifact")
+    select_train.add_argument("store", help="results store (.jsonl) path")
+    select_train.add_argument("--out", required=True,
+                              help="output selector artifact (.npz) path")
+    select_train.add_argument("--hidden-dim", type=int, default=32)
+    select_train.add_argument("--epochs", type=int, default=300)
+    select_train.add_argument("--lr", type=float, default=5e-3)
+    select_train.add_argument("--abstain-z", type=float, default=6.0,
+                              help="out-of-distribution abstention bar in "
+                                   "standardized feature units")
+    select_train.add_argument("--seed", type=int, default=0)
+    select_train.add_argument("--filter", nargs="*", default=[],
+                              metavar="FIELD=VALUE",
+                              help="train only on matching records, e.g. "
+                                   "scenario=sgsc shots=1")
 
     train = sub.add_parser("train", help="meta-train a CGNP and save a bundle")
     train.add_argument("--dataset", default="cora")
@@ -360,9 +407,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: unknown method(s) {unknown}; "
               f"known: {list(available_methods())}", file=sys.stderr)
         return 2
+    store = ResultsStore(args.store) if args.store else None
     results = run_effectiveness(args.scenario, args.dataset, profile,
                                 shots=shots, method_names=methods,
-                                seed=args.seed)
+                                seed=args.seed, store=store)
     for shot, shot_results in results.items():
         print(format_metric_table(
             shot_results,
@@ -371,6 +419,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.times:
             print(format_time_table(shot_results))
         print()
+    if store is not None:
+        print(f"logged {len(store)} record(s) to {store.path}")
+    return 0
+
+
+def _parse_filters(pairs: List[str]) -> dict:
+    """``FIELD=VALUE`` args → :meth:`ResultsStore.records` filter kwargs."""
+    filters = {}
+    for pair in pairs:
+        field, eq, value = pair.partition("=")
+        if not eq or not field:
+            raise ValueError(
+                f"filter {pair!r} is not of the form FIELD=VALUE")
+        filters[field] = value
+    return filters
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store)
+    by = tuple(f.strip() for f in args.by.split(",") if f.strip())
+    try:
+        filters = _parse_filters(args.filter)
+        table = store.overview_table(
+            by=by, include_aggregates=args.include_aggregates, **filters)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(table)
+    if store.lines_skipped:
+        print(f"warning: skipped {store.lines_skipped} undecodable line(s) "
+              f"(torn writes are expected after a crash)", file=sys.stderr)
+    return 0
+
+
+def _cmd_select_train(args: argparse.Namespace) -> int:
+    from .meta import MethodSelector
+
+    store = ResultsStore(args.store)
+    try:
+        filters = _parse_filters(args.filter)
+        records = store.records(**filters)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    selector = MethodSelector(hidden_dim=args.hidden_dim,
+                              abstain_z=args.abstain_z)
+    try:
+        selector.fit(records, epochs=args.epochs, lr=args.lr,
+                     rng=make_rng(args.seed))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    selector.save(args.out)
+    print(f"trained on {selector.train_records} per-task record(s); "
+          f"method vocabulary: {selector.methods}")
+    print(f"selector artifact written to {args.out}")
     return 0
 
 
@@ -667,6 +771,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_methods()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "results":
+        return _cmd_results(args)
+    if args.command == "select-train":
+        return _cmd_select_train(args)
     if args.command == "train":
         return _cmd_train(args)
     if args.command == "query":

@@ -1,7 +1,12 @@
-"""``repro.eval`` — metrics, the method evaluator, experiment harness and
-table reporting."""
+"""``repro.eval`` — metrics, the method evaluator, the persistent results
+store, experiment harness and table reporting."""
 
-from .evaluator import EvaluationResult, evaluate_method, evaluate_methods
+from .evaluator import (
+    EvaluationResult,
+    TaskOutcome,
+    evaluate_method,
+    evaluate_methods,
+)
 from .experiments import (
     ALL_METHOD_NAMES,
     CORE_METHOD_NAMES,
@@ -25,6 +30,12 @@ from .reporting import (
     highlight_best_f1,
 )
 from .significance import PairedComparison, compare_results, paired_bootstrap
+from .store import (
+    STORE_SCHEMA_VERSION,
+    ResultsStore,
+    RunRecord,
+    run_provenance,
+)
 
 __all__ = [
     "Metrics",
@@ -32,8 +43,13 @@ __all__ = [
     "community_metrics",
     "mean_metrics",
     "EvaluationResult",
+    "TaskOutcome",
     "evaluate_method",
     "evaluate_methods",
+    "ResultsStore",
+    "RunRecord",
+    "run_provenance",
+    "STORE_SCHEMA_VERSION",
     "ExperimentProfile",
     "PROFILES",
     "build_method",

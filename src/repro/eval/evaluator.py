@@ -3,6 +3,13 @@
 Produces the four paper metrics (per-query averaged) plus the wall-clock
 split the efficiency figures need: total meta-training time and total test
 time (which for adaptive methods includes their per-task fine-tuning).
+
+Results are no longer throw-away: pass ``store=`` (a
+:class:`~repro.eval.store.ResultsStore`) and every test task is logged as
+one :class:`~repro.eval.store.RunRecord` — metrics, timings, the task's
+meta-features (:func:`repro.meta.task_meta_features`) and execution
+provenance — the training data for :class:`repro.meta.MethodSelector`
+and the substrate of the ``repro results`` overview.
 """
 
 from __future__ import annotations
@@ -16,8 +23,21 @@ import numpy as np
 from ..baselines.base import CommunitySearchMethod
 from ..tasks.task import Task, TaskSet
 from .metrics import Metrics, community_metrics, mean_metrics
+from .store import AGGREGATE_TASK, ResultsStore, RunRecord, run_provenance
 
-__all__ = ["EvaluationResult", "evaluate_method", "evaluate_methods"]
+__all__ = ["EvaluationResult", "TaskOutcome", "evaluate_method",
+           "evaluate_methods"]
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """Per-task slice of an evaluation: one test task, one method."""
+
+    task: str
+    metrics: Metrics
+    num_queries: int
+    test_time: float
+    per_query: List[Metrics]
 
 
 @dataclasses.dataclass
@@ -29,6 +49,11 @@ class EvaluationResult:
     train_time: float          # meta-training wall-clock (0 when no stage)
     test_time: float           # total prediction wall-clock over test tasks
     per_query: List[Metrics]   # raw per-query metrics
+    per_task: List[TaskOutcome] = dataclasses.field(default_factory=list)
+    scenario: str = ""
+    dataset: str = ""
+    shots: Optional[int] = None
+    seed: Optional[int] = None
 
     def row(self) -> Dict[str, float]:
         """Flat dict for table assembly."""
@@ -42,11 +67,37 @@ class EvaluationResult:
             "test_time": self.test_time,
         }
 
+    def as_record(self, tags: Optional[Dict[str, str]] = None) -> RunRecord:
+        """This result as one aggregate :class:`RunRecord` (``task="*"``).
+
+        The whole-task-set summary line; per-task lines (which carry
+        meta-features and train the selector) are written by
+        :func:`evaluate_method` when a store is passed.
+        """
+        return RunRecord(
+            method=self.method,
+            scenario=self.scenario,
+            dataset=self.dataset,
+            task=AGGREGATE_TASK,
+            metrics=self.metrics.as_dict(),
+            num_queries=len(self.per_query),
+            shots=self.shots,
+            seed=self.seed,
+            train_time=self.train_time,
+            test_time=self.test_time,
+            provenance=run_provenance(),
+            tags=dict(tags or {}),
+        )
+
 
 def evaluate_method(method: CommunitySearchMethod, tasks: TaskSet,
                     rng: Optional[np.random.Generator] = None,
                     num_shots: Optional[int] = None,
-                    skip_meta_fit: bool = False) -> EvaluationResult:
+                    skip_meta_fit: bool = False,
+                    store: Optional[ResultsStore] = None,
+                    scenario: str = "", dataset: str = "",
+                    seed: Optional[int] = None,
+                    tags: Optional[Dict[str, str]] = None) -> EvaluationResult:
     """Meta-fit on ``tasks.train`` then score on ``tasks.test``.
 
     Parameters
@@ -62,7 +113,21 @@ def evaluate_method(method: CommunitySearchMethod, tasks: TaskSet,
         columns of Tables II/III).
     skip_meta_fit:
         Reuse a previously fitted method (the shot sweep fits once).
+    store:
+        Optional :class:`ResultsStore` sink.  When given, one per-task
+        :class:`RunRecord` — metrics, timing, meta-features, provenance
+        — is appended per test task, plus one aggregate (``task="*"``)
+        summary line.
+    scenario / dataset / seed / tags:
+        Record labels; ``scenario`` also drives the meta-feature one-hot.
+        When ``tasks.name`` follows the ``"<scenario>-<dataset>"``
+        convention of :mod:`repro.tasks.scenarios`, both default from it.
     """
+    if not scenario or not dataset:
+        inferred_scenario, _, inferred_dataset = tasks.name.partition("-")
+        scenario = scenario or inferred_scenario
+        dataset = dataset or inferred_dataset
+
     train = tasks.train
     valid = tasks.valid
     test = tasks.test
@@ -80,28 +145,84 @@ def evaluate_method(method: CommunitySearchMethod, tasks: TaskSet,
             train_time = 0.0  # per-task methods have no meta stage
 
     per_query: List[Metrics] = []
-    start = time.perf_counter()
+    per_task: List[TaskOutcome] = []
+    test_time = 0.0
     for task in test:
-        for prediction in method.predict_task(task):
-            per_query.append(community_metrics(
-                prediction.members, prediction.ground_truth, prediction.query))
-    test_time = time.perf_counter() - start
+        start = time.perf_counter()
+        predictions = method.predict_task(task)
+        elapsed = time.perf_counter() - start
+        test_time += elapsed
+        task_metrics = [community_metrics(p.members, p.ground_truth, p.query)
+                        for p in predictions]
+        per_query.extend(task_metrics)
+        per_task.append(TaskOutcome(
+            task=task.name, metrics=mean_metrics(task_metrics),
+            num_queries=len(task_metrics), test_time=elapsed,
+            per_query=task_metrics))
 
-    return EvaluationResult(
+    result = EvaluationResult(
         method=method.name,
         metrics=mean_metrics(per_query),
         train_time=train_time,
         test_time=test_time,
         per_query=per_query,
+        per_task=per_task,
+        scenario=scenario,
+        dataset=dataset,
+        shots=num_shots,
+        seed=seed,
     )
+    if store is not None:
+        _log_result(store, result, test, tags)
+    return result
+
+
+def _log_result(store: ResultsStore, result: EvaluationResult,
+                test_tasks: Sequence[Task],
+                tags: Optional[Dict[str, str]]) -> None:
+    """Append per-task records (with meta-features) plus the aggregate."""
+    from ..meta import task_meta_features
+
+    provenance = run_provenance()
+    # The meta-training cost is shared by every test task; amortise it so
+    # summing train_time over a method's records never multiple-counts.
+    shared_train = (result.train_time / len(test_tasks)) if test_tasks else 0.0
+    for task, outcome in zip(test_tasks, result.per_task):
+        store.append(RunRecord(
+            method=result.method,
+            scenario=result.scenario,
+            dataset=result.dataset,
+            task=outcome.task,
+            metrics=outcome.metrics.as_dict(),
+            num_queries=outcome.num_queries,
+            shots=result.shots,
+            seed=result.seed,
+            train_time=shared_train,
+            test_time=outcome.test_time,
+            meta_features=task_meta_features(task, result.scenario),
+            provenance=provenance,
+            tags=dict(tags or {}),
+        ))
+    store.append(result.as_record(tags))
 
 
 def evaluate_methods(methods: Sequence[CommunitySearchMethod], tasks: TaskSet,
                      rng: Optional[np.random.Generator] = None,
-                     num_shots: Optional[int] = None) -> List[EvaluationResult]:
-    """Evaluate several methods on the same task set."""
+                     num_shots: Optional[int] = None,
+                     store: Optional[ResultsStore] = None,
+                     scenario: str = "", dataset: str = "",
+                     seed: Optional[int] = None,
+                     tags: Optional[Dict[str, str]] = None
+                     ) -> List[EvaluationResult]:
+    """Evaluate several methods on the same task set.
+
+    ``store=`` / ``tags=`` and the record labels forward to
+    :func:`evaluate_method` per method.
+    """
     results = []
     for method in methods:
         child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1)) if rng else None
-        results.append(evaluate_method(method, tasks, child, num_shots=num_shots))
+        results.append(evaluate_method(
+            method, tasks, child, num_shots=num_shots, store=store,
+            scenario=scenario, dataset=dataset, seed=seed, tags=tags))
     return results

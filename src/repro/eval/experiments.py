@@ -23,6 +23,7 @@ ordering, which is what the reproduction checks, is preserved.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +33,7 @@ from ..baselines import CommunitySearchMethod
 from ..tasks import ScenarioConfig, TaskSet, make_scenario
 from ..utils import make_rng
 from .evaluator import EvaluationResult, evaluate_method
+from .store import ResultsStore
 
 __all__ = [
     "ExperimentProfile",
@@ -108,37 +110,53 @@ CORE_METHOD_NAMES = (
 
 def method_spec(name: str, profile: ExperimentProfile, seed: int = 0,
                 conv: str = "gat", aggregator: str = "sum") -> MethodSpec:
-    """The registry spec for ``name`` with budgets scaled to ``profile``."""
-    return MethodSpec(
-        name=name,
-        hidden_dim=profile.hidden_dim,
-        num_layers=profile.num_layers,
-        conv=conv,
-        aggregator=aggregator,
-        cgnp_epochs=profile.cgnp_epochs,
-        pretrain_epochs=profile.pretrain_epochs,
-        per_task_steps=profile.per_task_steps,
-        inner_steps_train=profile.inner_steps_train,
-        inner_steps_test=profile.inner_steps_test,
-        seed=seed,
-    )
+    """Deprecated alias of :meth:`MethodSpec.from_profile`.
+
+    The profile → spec translation now lives on the spec itself so the
+    registry is the single method-construction entry point; this wrapper
+    survives one release for external callers.
+    """
+    warnings.warn(
+        "repro.eval.experiments.method_spec is deprecated; use "
+        "MethodSpec.from_profile(name, profile, ...) from repro.api.registry",
+        DeprecationWarning, stacklevel=2)
+    return MethodSpec.from_profile(name, profile, seed=seed, conv=conv,
+                                   aggregator=aggregator)
 
 
 def build_method(name: str, profile: ExperimentProfile, seed: int = 0,
                  conv: str = "gat", aggregator: str = "sum") -> CommunitySearchMethod:
-    """Instantiate one named method with budgets scaled to ``profile``.
+    """Deprecated: use ``create_method(MethodSpec.from_profile(...))``.
 
-    Dispatch goes through :mod:`repro.api.registry`; this wrapper only
-    translates the profile's scale knobs into a :class:`MethodSpec`.
+    Kept for one release; dispatch has always gone through
+    :mod:`repro.api.registry`, and now the spec translation does too.
     """
-    return create_method(method_spec(name, profile, seed=seed, conv=conv,
-                                     aggregator=aggregator))
+    warnings.warn(
+        "repro.eval.experiments.build_method is deprecated; use "
+        "create_method(MethodSpec.from_profile(name, profile, ...))",
+        DeprecationWarning, stacklevel=2)
+    return _build(name, profile, seed=seed, conv=conv, aggregator=aggregator)
+
+
+def _build(name: str, profile: ExperimentProfile, seed: int = 0,
+           conv: str = "gat", aggregator: str = "sum") -> CommunitySearchMethod:
+    """Registry-backed construction used throughout this module."""
+    return create_method(MethodSpec.from_profile(
+        name, profile, seed=seed, conv=conv, aggregator=aggregator))
 
 
 def build_methods(names: Sequence[str], profile: ExperimentProfile,
                   seed: int = 0) -> List[CommunitySearchMethod]:
-    return [build_method(name, profile, seed=seed + i)
+    return [_build(name, profile, seed=seed + i)
             for i, name in enumerate(names)]
+
+
+def _experiment_tags(experiment: str, profile: ExperimentProfile,
+                     tags: Optional[Dict[str, str]]) -> Dict[str, str]:
+    """Default record tags: experiment id + profile, caller tags win."""
+    merged = {"experiment": experiment, "profile": profile.name}
+    merged.update(tags or {})
+    return merged
 
 
 def _scenario_config(profile: ExperimentProfile, seed: int,
@@ -160,11 +178,16 @@ def _scenario_config(profile: ExperimentProfile, seed: int,
 def run_effectiveness(scenario: str, dataset: str, profile: ExperimentProfile,
                       shots: Sequence[int] = (1, 5),
                       method_names: Sequence[str] = CORE_METHOD_NAMES,
-                      seed: int = 0) -> Dict[int, List[EvaluationResult]]:
+                      seed: int = 0,
+                      store: Optional[ResultsStore] = None,
+                      tags: Optional[Dict[str, str]] = None
+                      ) -> Dict[int, List[EvaluationResult]]:
     """Tables II/III: metrics per method per shot count.
 
     ``scenario`` ∈ {sgsc, sgdc, mgod, mgdd}; for mgdd pass
-    ``dataset="cite2cora"``.
+    ``dataset="cite2cora"``.  ``store=`` logs every evaluation
+    (per-task + aggregate records) for ``repro results`` and selector
+    training.
     """
     config = _scenario_config(profile, seed)
     config.num_support = max(shots)
@@ -173,6 +196,7 @@ def run_effectiveness(scenario: str, dataset: str, profile: ExperimentProfile,
     scale = profile.dataset_scale if scenario != "mgod" \
         else max(profile.dataset_scale, 0.6)
     tasks = make_scenario(scenario, dataset, config, scale=scale)
+    tags = _experiment_tags("effectiveness", profile, tags)
 
     results: Dict[int, List[EvaluationResult]] = {}
     rng = make_rng(seed + 1)
@@ -181,10 +205,11 @@ def run_effectiveness(scenario: str, dataset: str, profile: ExperimentProfile,
         for name in method_names:
             if name == "ACQ" and tasks.test[0].graph.attributes is None:
                 continue  # ACQ cannot run without attributes (paper, §VII-B)
-            method = build_method(name, profile, seed=seed)
+            method = _build(name, profile, seed=seed)
             child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1))
-            shot_results.append(evaluate_method(method, tasks, child,
-                                                num_shots=shot))
+            shot_results.append(evaluate_method(
+                method, tasks, child, num_shots=shot, store=store,
+                scenario=scenario, dataset=dataset, seed=seed, tags=tags))
         results[shot] = shot_results
     return results
 
@@ -192,28 +217,36 @@ def run_effectiveness(scenario: str, dataset: str, profile: ExperimentProfile,
 def run_ablation(scenario: str, dataset: str, profile: ExperimentProfile,
                  convs: Sequence[str] = ("gcn", "gat", "sage"),
                  aggregators: Sequence[str] = ("attention", "sum", "mean"),
-                 seed: int = 0) -> Dict[str, List[EvaluationResult]]:
+                 seed: int = 0,
+                 store: Optional[ResultsStore] = None,
+                 tags: Optional[Dict[str, str]] = None
+                 ) -> Dict[str, List[EvaluationResult]]:
     """Table IV: CGNP-GNN varying the encoder conv (⊕ fixed to mean) and
     the commutative op (conv fixed to GAT)."""
     config = _scenario_config(profile, seed)
     tasks = make_scenario(scenario, dataset, config, scale=profile.dataset_scale)
     rng = make_rng(seed + 1)
+    tags = _experiment_tags("ablation", profile, tags)
 
     layer_results = []
     for conv in convs:
-        method = build_method("cgnp-gnn", profile, seed=seed,
-                              conv=conv, aggregator="mean")
+        method = _build("cgnp-gnn", profile, seed=seed,
+                        conv=conv, aggregator="mean")
         method.name = f"CGNP-GNN[{conv}]"
         child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1))
-        layer_results.append(evaluate_method(method, tasks, child))
+        layer_results.append(evaluate_method(
+            method, tasks, child, store=store, scenario=scenario,
+            dataset=dataset, seed=seed, tags=tags))
 
     agg_results = []
     for aggregator in aggregators:
-        method = build_method("cgnp-gnn", profile, seed=seed,
-                              conv="gat", aggregator=aggregator)
+        method = _build("cgnp-gnn", profile, seed=seed,
+                        conv="gat", aggregator=aggregator)
         method.name = f"CGNP-GNN[{aggregator}]"
         child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1))
-        agg_results.append(evaluate_method(method, tasks, child))
+        agg_results.append(evaluate_method(
+            method, tasks, child, store=store, scenario=scenario,
+            dataset=dataset, seed=seed, tags=tags))
 
     return {"layer": layer_results, "aggregator": agg_results}
 
@@ -223,9 +256,12 @@ def run_scalability(profile: ExperimentProfile,
                     method_names: Sequence[str] = ("MAML", "FeatTrans",
                                                    "Supervised", "CGNP-IP"),
                     dataset: str = "dblp", seed: int = 0,
+                    store: Optional[ResultsStore] = None,
+                    tags: Optional[Dict[str, str]] = None
                     ) -> Dict[int, List[EvaluationResult]]:
     """Fig. 4: train/test wall-clock as the task-graph size grows."""
     results: Dict[int, List[EvaluationResult]] = {}
+    tags = _experiment_tags("scalability", profile, tags)
     for size in sizes:
         config = _scenario_config(profile, seed, subgraph_nodes=size)
         # Fewer tasks at the largest sizes keeps the sweep tractable.
@@ -236,9 +272,12 @@ def run_scalability(profile: ExperimentProfile,
         rng = make_rng(seed + size)
         size_results = []
         for name in method_names:
-            method = build_method(name, profile, seed=seed)
+            method = _build(name, profile, seed=seed)
             child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1))
-            size_results.append(evaluate_method(method, tasks, child))
+            size_results.append(evaluate_method(
+                method, tasks, child, store=store, scenario="sgsc",
+                dataset=dataset, seed=seed,
+                tags={**tags, "subgraph_nodes": str(size)}))
         results[size] = size_results
     return results
 
@@ -250,9 +289,12 @@ def run_groundtruth_sweep(scenario: str, dataset: str, profile: ExperimentProfil
                           method_names: Sequence[str] = ("Supervised", "FeatTrans",
                                                          "GPN", "CGNP-IP"),
                           seed: int = 0,
+                          store: Optional[ResultsStore] = None,
+                          tags: Optional[Dict[str, str]] = None
                           ) -> Dict[Tuple[float, float], List[EvaluationResult]]:
     """Fig. 5: 1-shot F1 as the per-query label volume grows."""
     results: Dict[Tuple[float, float], List[EvaluationResult]] = {}
+    tags = _experiment_tags("groundtruth", profile, tags)
     for pos_frac, neg_frac in ratios:
         config = _scenario_config(profile, seed, positive_fraction=pos_frac,
                                   negative_fraction=neg_frac)
@@ -261,9 +303,12 @@ def run_groundtruth_sweep(scenario: str, dataset: str, profile: ExperimentProfil
         rng = make_rng(seed + int(pos_frac * 1000))
         ratio_results = []
         for name in method_names:
-            method = build_method(name, profile, seed=seed)
+            method = _build(name, profile, seed=seed)
             child = np.random.default_rng(rng.integers(0, 2 ** 31 - 1))
-            ratio_results.append(evaluate_method(method, tasks, child, num_shots=1))
+            ratio_results.append(evaluate_method(
+                method, tasks, child, num_shots=1, store=store,
+                scenario=scenario, dataset=dataset, seed=seed,
+                tags={**tags, "labels": f"{pos_frac}/{neg_frac}"}))
         results[(pos_frac, neg_frac)] = ratio_results
     return results
 

@@ -1,0 +1,373 @@
+"""Persistent evaluation results: ``RunRecord`` + the JSONL ``ResultsStore``.
+
+Every ``evaluate_method`` call used to return in-memory rows and throw
+the numbers away; meta-method selection (:mod:`repro.meta`) needs those
+runs as training data, and every perf PR wants a queryable history.  This
+module makes evaluation results a durable asset:
+
+* :class:`RunRecord` — one evaluated (method, scenario, dataset, task)
+  cell: the four paper metrics, wall-clock split, shot count, seed, the
+  task's meta-features (:func:`repro.meta.task_meta_features`) and
+  execution provenance (backend / dtype / index dtype / bundle format
+  version), plus free-form ``tags``;
+* :class:`ResultsStore` — an append-only JSONL file.  One record per
+  line, each appended with a **single** ``O_APPEND`` write + fsync, so
+  concurrent writers (processes or threads) interleave whole lines and a
+  crash can tear at most the final line — which readers *skip*, never
+  fail on;
+* :meth:`ResultsStore.overview` — a pandas-free aggregation table
+  (group by any record fields, mean metrics + timings + run counts),
+  rendered by ``repro results`` through
+  :func:`repro.eval.reporting.format_generic_table`.
+
+Schema versioning: every line carries ``schema``.  Readers accept newer
+schema versions (forward read): unknown keys are preserved in
+:attr:`RunRecord.extra` and round-trip through :meth:`RunRecord.to_json`,
+so a store written by a newer release stays readable and re-writable.
+
+>>> import tempfile, os
+>>> store = ResultsStore(os.path.join(tempfile.mkdtemp(), "runs.jsonl"))
+>>> _ = store.append(RunRecord(method="CTC", scenario="sgsc",
+...                            dataset="citeseer", task="test-0",
+...                            metrics={"f1": 0.5}))
+>>> len(store)
+1
+>>> store.records(method="ctc")[0].f1
+0.5
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+__all__ = ["RunRecord", "ResultsStore", "run_provenance",
+           "STORE_SCHEMA_VERSION"]
+
+#: Bump when the record layout changes incompatibly.  Readers accept
+#: *newer* versions leniently (unknown fields land in ``extra``), so old
+#: code keeps reading stores written by future releases.
+STORE_SCHEMA_VERSION = 1
+
+#: The aggregate pseudo-task name used by :meth:`EvaluationResult.as_record`
+#: for a whole-task-set record (per-task records carry the task's name).
+AGGREGATE_TASK = "*"
+
+
+def run_provenance() -> Dict[str, Any]:
+    """Execution provenance of the current process, for record stamping.
+
+    Captures the active array backend, element precision, index width and
+    the :data:`~repro.api.bundle.BUNDLE_VERSION` checkpoints are written
+    at — enough to trace a regression in a logged run back to the policy
+    it executed under.
+    """
+    from ..api.bundle import BUNDLE_VERSION
+    from ..nn.backend import get_backend, resolve_dtype, resolve_index_dtype
+
+    return {
+        "backend": get_backend().name,
+        "dtype": resolve_dtype().name,
+        "index_dtype": resolve_index_dtype().name,
+        "bundle_version": BUNDLE_VERSION,
+    }
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One logged evaluation of one method on one task.
+
+    ``metrics`` holds the four paper metrics (``accuracy`` / ``precision``
+    / ``recall`` / ``f1``); ``meta_features`` the cheap task descriptors
+    the :class:`~repro.meta.MethodSelector` trains on; ``provenance`` the
+    execution policies (see :func:`run_provenance`); ``tags`` free-form
+    caller strings (profile name, experiment id, …).  ``task`` is the
+    task's name, or ``"*"`` for an aggregate whole-task-set record.
+    Unknown fields read from a newer-schema line are preserved in
+    ``extra`` and written back verbatim.
+    """
+
+    method: str
+    scenario: str = ""
+    dataset: str = ""
+    task: str = ""
+    metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    num_queries: int = 0
+    shots: Optional[int] = None
+    seed: Optional[int] = None
+    train_time: float = 0.0
+    test_time: float = 0.0
+    meta_features: Dict[str, float] = dataclasses.field(default_factory=dict)
+    provenance: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    tags: Dict[str, str] = dataclasses.field(default_factory=dict)
+    created_at: float = 0.0
+    schema: int = STORE_SCHEMA_VERSION
+    extra: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def f1(self) -> float:
+        """The headline metric (0.0 when the record carries no metrics)."""
+        return float(self.metrics.get("f1", 0.0))
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.task == AGGREGATE_TASK
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """One compact JSON line (no trailing newline)."""
+        payload = {field.name: getattr(self, field.name)
+                   for field in dataclasses.fields(self)
+                   if field.name != "extra"}
+        payload.update(self.extra)   # forward-read round trip
+        return json.dumps(payload, separators=(",", ":"), default=str,
+                          sort_keys=False)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RunRecord":
+        """Build a record from a decoded JSON object.
+
+        Lenient by design: known fields are taken (with type coercion on
+        the scalars), everything else — including fields added by a newer
+        schema — survives in ``extra``.
+        """
+        payload = dict(payload)
+        known = {field.name for field in dataclasses.fields(cls)}
+        kwargs: Dict[str, Any] = {}
+        for name in known:
+            if name == "extra" or name not in payload:
+                continue
+            kwargs[name] = payload.pop(name)
+        record = cls(**kwargs)
+        record.extra = payload
+        # Scalar coercions keep filtering/aggregation type-stable even
+        # when a line was hand-edited or written by foreign tooling.
+        record.method = str(record.method)
+        record.num_queries = int(record.num_queries)
+        record.train_time = float(record.train_time)
+        record.test_time = float(record.test_time)
+        record.schema = int(record.schema)
+        if record.shots is not None:
+            record.shots = int(record.shots)
+        if record.seed is not None:
+            record.seed = int(record.seed)
+        return record
+
+
+#: Filter keys :meth:`ResultsStore.records` accepts (``shots``/``seed``
+#: compare as integers, the rest as case-insensitive strings).
+FILTER_FIELDS = ("method", "scenario", "dataset", "task", "shots", "seed")
+
+
+def _matches(record: RunRecord, filters: Dict[str, Any]) -> bool:
+    for key, wanted in filters.items():
+        value = getattr(record, key)
+        if key in ("shots", "seed"):
+            if value is None or int(value) != int(wanted):
+                return False
+        elif str(value).lower() != str(wanted).lower():
+            return False
+    return True
+
+
+class ResultsStore:
+    """An append-only JSONL store of :class:`RunRecord` lines.
+
+    Parameters
+    ----------
+    path:
+        The ``.jsonl`` file; parent directories are created on first
+        append.  The file need not exist — a store over a missing path
+        is simply empty.
+
+    **Durability contract.**  :meth:`append` serialises the record to one
+    line and hands it to the kernel in a single ``write(2)`` on an
+    ``O_APPEND`` descriptor, followed by ``fsync``: concurrent appenders
+    (threads *or* processes) never interleave partial lines, and a crash
+    mid-write can corrupt at most the file's final line.  Readers treat
+    an undecodable trailing line as torn — skipped, counted in
+    :attr:`lines_skipped`, never fatal — so a store survives its writer.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]):
+        self.path = os.fspath(path)
+        #: Undecodable lines skipped by the most recent read.
+        self.lines_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: RunRecord) -> RunRecord:
+        """Durably append one record (stamping ``created_at`` if unset)."""
+        if record.created_at == 0.0:
+            record.created_at = time.time()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        data = (record.to_json() + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            # If a previous writer crashed mid-line, the file ends without
+            # a newline; gluing this record onto the torn line would lose
+            # *both*.  Start a fresh line instead (the torn fragment stays
+            # torn and is skipped on read).  Worst case under concurrency
+            # is an extra blank line, which readers ignore.
+            size = os.fstat(fd).st_size
+            if size:
+                os.lseek(fd, size - 1, os.SEEK_SET)
+                if os.read(fd, 1) != b"\n":
+                    data = b"\n" + data
+            os.write(fd, data)    # one syscall: whole-line atomicity
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return record
+
+    def extend(self, records: Iterable[RunRecord]) -> int:
+        count = 0
+        for record in records:
+            self.append(record)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[RunRecord]:
+        """Yield every decodable record; skip torn/foreign lines.
+
+        A truncated final line is the expected crash artifact and is
+        skipped silently (counted in :attr:`lines_skipped`); the same
+        lenience applies to any undecodable interior line so one bad
+        writer cannot poison the whole history.
+        """
+        self.lines_skipped = 0
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    self.lines_skipped += 1
+                    continue
+                if not isinstance(payload, dict) or "method" not in payload:
+                    self.lines_skipped += 1
+                    continue
+                yield RunRecord.from_payload(payload)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def records(self, **filters: Any) -> List[RunRecord]:
+        """All records matching the given equality filters.
+
+        Accepted keys: ``method``, ``scenario``, ``dataset``, ``task``
+        (case-insensitive string match) and ``shots`` / ``seed``
+        (integer match).
+        """
+        unknown = set(filters) - set(FILTER_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown filter field(s) {sorted(unknown)}; "
+                f"known: {list(FILTER_FIELDS)}")
+        return [record for record in self if _matches(record, filters)]
+
+    def methods(self) -> Tuple[str, ...]:
+        """Distinct method names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for record in self:
+            seen.setdefault(record.method, None)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Aggregation (pandas-free)
+    # ------------------------------------------------------------------
+    def overview(self, by: Sequence[str] = ("method", "scenario", "dataset"),
+                 include_aggregates: bool = False,
+                 **filters: Any) -> List[Dict[str, Any]]:
+        """Grouped means over the store — the ``repro results`` table.
+
+        Groups the matching records by the ``by`` fields and reports,
+        per group: run count, mean of every metric present, and mean
+        train/test wall-clock.  Aggregate (``task="*"``) records are
+        excluded by default so per-task and whole-set records logged for
+        the same evaluation are never double counted.
+
+        Returns a list of plain dicts sorted by the group key — no
+        pandas, no new dependencies.
+        """
+        for field in by:
+            if field not in FILTER_FIELDS:
+                raise ValueError(f"cannot group by {field!r}; "
+                                 f"known fields: {list(FILTER_FIELDS)}")
+        groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        for record in self.records(**filters):
+            if record.is_aggregate and not include_aggregates:
+                continue
+            key = tuple(getattr(record, field) for field in by)
+            bucket = groups.setdefault(key, {
+                "runs": 0, "train_time": 0.0, "test_time": 0.0,
+                "metrics": {},
+            })
+            bucket["runs"] += 1
+            bucket["train_time"] += record.train_time
+            bucket["test_time"] += record.test_time
+            for name, value in record.metrics.items():
+                totals = bucket["metrics"].setdefault(name, [0.0, 0])
+                totals[0] += float(value)
+                totals[1] += 1
+        rows: List[Dict[str, Any]] = []
+        for key in sorted(groups, key=lambda k: tuple(str(v) for v in k)):
+            bucket = groups[key]
+            runs = bucket["runs"]
+            row: Dict[str, Any] = dict(zip(by, key))
+            row["runs"] = runs
+            for name, (total, count) in sorted(bucket["metrics"].items()):
+                row[name] = total / count
+            row["train_time"] = bucket["train_time"] / runs
+            row["test_time"] = bucket["test_time"] / runs
+            rows.append(row)
+        return rows
+
+    def overview_table(self, by: Sequence[str] = ("method", "scenario",
+                                                  "dataset"),
+                       include_aggregates: bool = False,
+                       **filters: Any) -> str:
+        """The overview rendered as an aligned text table."""
+        from .reporting import format_generic_table
+
+        rows = self.overview(by=by, include_aggregates=include_aggregates,
+                             **filters)
+        if not rows:
+            return f"(no records in {self.path})"
+        metric_names = sorted({name for row in rows for name in row
+                               if name not in by
+                               and name not in ("runs", "train_time",
+                                                "test_time")})
+        headers = [*[f.capitalize() for f in by], "Runs", *metric_names,
+                   "Train s", "Test s"]
+        table_rows = []
+        for row in rows:
+            table_rows.append([
+                *[str(row[field]) for field in by],
+                row["runs"],
+                *[row.get(name, float("nan")) for name in metric_names],
+                row["train_time"],
+                row["test_time"],
+            ])
+        return format_generic_table(
+            headers, table_rows,
+            title=f"Results overview ({self.path})")
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetics
+        return f"ResultsStore(path={self.path!r})"

@@ -1,0 +1,26 @@
+"""``repro.meta`` — meta-method selection (ADGym-style).
+
+Which of the 13 reproduced methods should answer *this* task?  The
+package answers that with cheap task descriptors
+(:func:`task_meta_features`) and a :class:`MethodSelector` trained on
+the evaluation history a :class:`repro.eval.store.ResultsStore`
+accumulates.  See ``docs/selection.md``.
+"""
+
+from .features import META_FEATURE_NAMES, feature_vector, task_meta_features
+from .selector import (
+    SELECTOR_FORMAT,
+    SELECTOR_HEADER_KEY,
+    SELECTOR_VERSION,
+    MethodSelector,
+)
+
+__all__ = [
+    "META_FEATURE_NAMES",
+    "task_meta_features",
+    "feature_vector",
+    "MethodSelector",
+    "SELECTOR_FORMAT",
+    "SELECTOR_VERSION",
+    "SELECTOR_HEADER_KEY",
+]

@@ -1,0 +1,150 @@
+"""Cheap per-task meta-features for method selection.
+
+The ADGym recipe: describe each task with a handful of statistics that
+are **orders of magnitude cheaper than running any method on it**, and
+let a predictor trained on logged evaluation runs map those statistics
+to an expected score per method.  Everything here is O(nodes + edges)
+or bounded-sample work — extraction must stay well under the per-query
+decode budget, because the engine's ``method="auto"`` path pays it on
+the serving hot path (once per task, cached).
+
+The feature vector layout is **part of the selector artifact contract**:
+:data:`META_FEATURE_NAMES` is persisted in the artifact header and
+validated at load, so reordering or renaming a feature is a format
+change, not a refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..tasks.scenarios import SCENARIOS
+from ..tasks.task import Task
+
+__all__ = ["META_FEATURE_NAMES", "task_meta_features", "feature_vector"]
+
+#: Nodes sampled (deterministically) for the clustering proxy.
+_CLUSTERING_SAMPLE = 32
+#: Neighbour cap per sampled node — keeps the proxy O(1) per node even
+#: on hub-heavy graphs.
+_NEIGHBOR_CAP = 10
+
+#: Upper-triangle pair indices for every capped neighbourhood size —
+#: built once so the clustering proxy never calls ``triu_indices`` on
+#: the hot path.
+_TRIU = {k: np.triu_indices(k, 1) for k in range(2, _NEIGHBOR_CAP + 1)}
+
+#: Canonical feature ordering (scenario one-hot last).  Persisted in the
+#: selector artifact; extend only by appending.
+META_FEATURE_NAMES: List[str] = [
+    "log_num_nodes",
+    "log_num_edges",
+    "density",
+    "degree_mean",
+    "degree_std",
+    "degree_max_ratio",
+    "clustering_proxy",
+    "num_shots",
+    "label_balance",
+    "log_num_attributes",
+] + [f"scenario_{name}" for name in SCENARIOS]
+
+
+def _clustering_proxy(task: Task) -> float:
+    """Sampled local clustering coefficient (deterministic).
+
+    Evenly spaced sample nodes, capped neighbour lists, closed-wedge
+    counting via ``has_edge`` — a stable proxy for transitivity at a
+    fixed cost, not an exact coefficient.
+    """
+    graph = task.graph
+    n = graph.num_nodes
+    if n < 3:
+        return 0.0
+    sample = np.unique(np.linspace(0, n - 1, num=min(_CLUSTERING_SAMPLE, n),
+                                   dtype=np.int64))
+    indptr = graph.adjacency.indptr
+    indices = graph.adjacency.indices
+    wedges = 0
+    pair_u: List[np.ndarray] = []
+    pair_v: List[np.ndarray] = []
+    for node in sample:
+        start = int(indptr[node])
+        k = min(int(indptr[node + 1]) - start, _NEIGHBOR_CAP)
+        if k < 2:
+            continue
+        wedges += k * (k - 1) // 2
+        neigh = indices[start:start + k]
+        iu, iv = _TRIU[k]
+        pair_u.append(neigh[iu])
+        pair_v.append(neigh[iv])
+    if not wedges:
+        return 0.0
+    # One has_edge probe for every neighbour pair at once: CSR rows are
+    # sorted, so the flattened (row, column) keys are globally sorted
+    # and a single searchsorted resolves all pairs.  The serving hot
+    # path pays this per task — it must stay well under decode cost.
+    edge_keys = (np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+                 * n + indices)
+    keys = np.concatenate(pair_u).astype(np.int64) * n + np.concatenate(pair_v)
+    pos = np.searchsorted(edge_keys, keys).clip(max=len(edge_keys) - 1)
+    closed = int((edge_keys[pos] == keys).sum())
+    return closed / wedges
+
+
+def task_meta_features(task: Task, scenario: str = "") -> Dict[str, float]:
+    """Extract the meta-feature dict of one task.
+
+    Parameters
+    ----------
+    task:
+        The community-search task to describe.
+    scenario:
+        Scenario identifier (one of :data:`~repro.tasks.scenarios.SCENARIOS`),
+        encoded one-hot; an empty or unknown scenario yields all zeros,
+        which is how records logged without scenario information train
+        and predict.
+
+    Returns a dict with exactly the keys of :data:`META_FEATURE_NAMES`.
+    """
+    graph = task.graph
+    n = max(graph.num_nodes, 1)
+    m = graph.num_edges
+    degrees = graph.degrees()
+    degree_mean = float(degrees.mean()) if n else 0.0
+    degree_std = float(degrees.std()) if n else 0.0
+    degree_max = float(degrees.max()) if len(degrees) else 0.0
+
+    positives = sum(len(example.positives) + 1 for example in task.support)
+    negatives = sum(len(example.negatives) for example in task.support)
+    labelled = positives + negatives
+
+    features: Dict[str, float] = {
+        "log_num_nodes": float(np.log1p(n)),
+        "log_num_edges": float(np.log1p(m)),
+        "density": 2.0 * m / (n * (n - 1)) if n > 1 else 0.0,
+        "degree_mean": degree_mean,
+        "degree_std": degree_std,
+        "degree_max_ratio": degree_max / n,
+        "clustering_proxy": _clustering_proxy(task),
+        "num_shots": float(task.num_shots),
+        "label_balance": positives / labelled if labelled else 0.0,
+        "log_num_attributes": float(np.log1p(graph.num_attributes)),
+    }
+    scenario = scenario.lower()
+    for name in SCENARIOS:
+        features[f"scenario_{name}"] = 1.0 if name == scenario else 0.0
+    return features
+
+
+def feature_vector(features: Dict[str, float]) -> np.ndarray:
+    """Project a feature dict onto the canonical ordering.
+
+    Missing features read as 0.0 and unknown keys are ignored — the
+    forward-read lenience that lets a selector built against today's
+    :data:`META_FEATURE_NAMES` consume records logged by other versions.
+    """
+    return np.array([float(features.get(name, 0.0))
+                     for name in META_FEATURE_NAMES], dtype=np.float64)

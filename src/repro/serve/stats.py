@@ -188,6 +188,7 @@ class ServeStats(EngineStats):
         merged.queue_wait = self.queue_wait.copy()
         merged.request_latency = self.request_latency.copy()
         merged.tick_batch_requests = self.tick_batch_requests.copy()
+        merged.method_picks = dict(engine_stats.method_picks)
         return merged
 
     def as_dict(self) -> Dict[str, Any]:
@@ -305,6 +306,25 @@ class ServeStats(EngineStats):
                 "Cached task contexts invalidated for lazy re-encoding "
                 "by a delta's dirty frontier.",
                 self.contexts_dirtied)
+        counter("repro_engine_auto_selections_total",
+                "Tasks routed by the meta-method selector "
+                "(method=\"auto\").", self.auto_selections)
+        counter("repro_engine_auto_fallbacks_total",
+                "auto tasks served by the native model because the "
+                "selector abstained or none is configured.",
+                self.auto_fallbacks)
+        counter("repro_engine_auto_select_seconds_total",
+                "Wall-clock seconds extracting meta-features and scoring "
+                "candidates on the auto path.",
+                self.auto_select_seconds)
+        if self.method_picks:
+            lines.append("# HELP repro_engine_method_picks_total Tasks "
+                         "answered per method via answer_task.")
+            lines.append("# TYPE repro_engine_method_picks_total counter")
+            for name in sorted(self.method_picks):
+                lines.append(f'repro_engine_method_picks_total'
+                             f'{{method="{name}"}} '
+                             f"{self.method_picks[name]}")
         gauge("repro_engine_graph_resident_bytes",
               "Estimated anonymous-RAM bytes of the active task graph "
               "(operators + feature working set).",

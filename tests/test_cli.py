@@ -241,3 +241,75 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("CTC", "MAML", "CGNP-IP", "CGNP-GNN"):
             assert name in out
+
+    def test_run_store_results_select_train_pipeline(self, tmp_path, capsys):
+        """run --store -> results -> select-train, the full meta pipeline."""
+        store_path = str(tmp_path / "runs.jsonl")
+        selector_path = str(tmp_path / "selector.npz")
+        code = main(["run", "--scenario", "sgsc", "--dataset", "citeseer",
+                     "--methods", "CTC,ATC", "--profile", "smoke",
+                     "--shots", "1", "--store", store_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"record(s) to {store_path}" in out
+
+        code = main(["results", store_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CTC" in out and "ATC" in out
+        assert "Runs" in out and "f1" in out
+
+        code = main(["results", store_path, "--by", "method",
+                     "--filter", "method=CTC"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CTC" in out and "ATC" not in out
+
+        code = main(["select-train", store_path, "--out", selector_path,
+                     "--hidden-dim", "8", "--epochs", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "method vocabulary" in out
+        assert selector_path in out
+
+        from repro.meta import MethodSelector
+        selector = MethodSelector.load(selector_path)
+        assert sorted(selector.methods) == ["ATC", "CTC"]
+
+    def test_results_missing_store_is_empty_not_fatal(self, tmp_path, capsys):
+        absent = str(tmp_path / "absent.jsonl")
+        assert main(["results", absent]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_results_bad_filter_exits_2(self, tmp_path, capsys):
+        store_path = str(tmp_path / "runs.jsonl")
+        open(store_path, "w").close()
+        assert main(["results", store_path, "--filter", "flavour=x"]) == 2
+        assert "unknown filter" in capsys.readouterr().err
+        assert main(["results", store_path, "--filter", "notapair"]) == 2
+        assert "FIELD=VALUE" in capsys.readouterr().err
+
+    def test_results_warns_on_torn_lines(self, tmp_path, capsys):
+        from repro.eval import ResultsStore, RunRecord
+
+        store = ResultsStore(tmp_path / "runs.jsonl")
+        store.append(RunRecord(method="CTC", task="t0",
+                               metrics={"f1": 0.5}))
+        with open(store.path, "ab") as handle:
+            handle.write(b'{"method": "torn')
+        assert main(["results", str(store.path)]) == 0
+        captured = capsys.readouterr()
+        assert "CTC" in captured.out
+        assert "skipped 1" in captured.err
+
+    def test_select_train_underfed_store_exits_2(self, tmp_path, capsys):
+        from repro.eval import ResultsStore, RunRecord
+
+        store = ResultsStore(tmp_path / "runs.jsonl")
+        store.append(RunRecord(method="CTC", task="t0",
+                               metrics={"f1": 0.5},
+                               meta_features={"density": 0.1}))
+        code = main(["select-train", str(store.path),
+                     "--out", str(tmp_path / "selector.npz")])
+        assert code == 2
+        assert "at least" in capsys.readouterr().err

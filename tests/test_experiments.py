@@ -47,11 +47,12 @@ class TestProfiles:
 class TestMethodFactory:
     @pytest.mark.parametrize("name", ALL_METHOD_NAMES)
     def test_every_method_builds(self, name):
-        method = build_method(name, MICRO)
+        with pytest.warns(DeprecationWarning):
+            method = build_method(name, MICRO)
         assert method.name == name
 
     def test_unknown_method(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             build_method("GPT", MICRO)
 
     def test_build_methods_distinct_seeds(self):
@@ -60,8 +61,42 @@ class TestMethodFactory:
 
     def test_cgnp_variant_decoders(self):
         for decoder in ("ip", "mlp", "gnn"):
-            method = build_method(f"CGNP-{decoder.upper()}", MICRO)
+            with pytest.warns(DeprecationWarning):
+                method = build_method(f"CGNP-{decoder.upper()}", MICRO)
             assert method.model_config.decoder == decoder
+
+
+class TestRegistryUnification:
+    """``build_method``/``method_spec`` are deprecated shims over the
+    :mod:`repro.api.registry` path; both paths must construct the same
+    thing for every paper method."""
+
+    @pytest.mark.parametrize("name", ALL_METHOD_NAMES)
+    def test_spec_paths_agree(self, name):
+        from repro.api import MethodSpec
+        from repro.eval.experiments import method_spec
+
+        with pytest.warns(DeprecationWarning):
+            legacy = method_spec(name, MICRO, seed=4, conv="gcn",
+                                 aggregator="mean")
+        modern = MethodSpec.from_profile(name, MICRO, seed=4, conv="gcn",
+                                         aggregator="mean")
+        assert legacy == modern
+
+    @pytest.mark.parametrize("name", ALL_METHOD_NAMES)
+    def test_construction_paths_build_same_architecture(self, name):
+        from repro.api import MethodSpec, create_method
+
+        with pytest.warns(DeprecationWarning):
+            legacy = build_method(name, MICRO)
+        modern = create_method(MethodSpec.from_profile(name, MICRO))
+        assert type(legacy) is type(modern)
+        assert legacy.name == modern.name == name
+
+    def test_build_methods_does_not_warn(self, recwarn):
+        build_methods(["CTC"], MICRO)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
 
 
 class TestEffectiveness:

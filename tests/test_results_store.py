@@ -1,0 +1,275 @@
+"""Tests for the persistent evaluation results store (repro.eval.store)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.eval import evaluate_method, evaluate_methods
+from repro.eval.store import (AGGREGATE_TASK, STORE_SCHEMA_VERSION,
+                              ResultsStore, RunRecord, run_provenance)
+from repro.baselines.base import CommunitySearchMethod, threshold_prediction
+from repro.tasks.task import TaskSet
+
+
+class OracleMethod(CommunitySearchMethod):
+    """Predicts every query's full ground-truth community (F1 = 1)."""
+
+    name = "Oracle"
+
+    def meta_fit(self, train_tasks, valid_tasks=None, rng=None):
+        pass
+
+    def predict_task(self, task):
+        return [threshold_prediction(example.membership.astype(float),
+                                     example.query, example.membership)
+                for example in task.queries]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultsStore(tmp_path / "runs.jsonl")
+
+
+def _record(method="CTC", scenario="sgsc", dataset="cora", task="test-0",
+            f1=0.5, **kwargs):
+    return RunRecord(method=method, scenario=scenario, dataset=dataset,
+                     task=task, metrics={"f1": f1}, **kwargs)
+
+
+class TestAppendRead:
+    def test_round_trip(self, store):
+        store.append(_record(f1=0.7, shots=1, seed=3,
+                             meta_features={"density": 0.1},
+                             tags={"profile": "smoke"}))
+        [record] = store.records()
+        assert record.method == "CTC"
+        assert record.f1 == 0.7
+        assert record.shots == 1 and record.seed == 3
+        assert record.meta_features == {"density": 0.1}
+        assert record.tags == {"profile": "smoke"}
+        assert record.schema == STORE_SCHEMA_VERSION
+        assert record.created_at > 0       # stamped by append
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(ResultsStore(tmp_path / "absent.jsonl")) == 0
+        assert ResultsStore(tmp_path / "absent.jsonl").records() == []
+
+    def test_filters(self, store):
+        store.append(_record(method="A", scenario="sgsc", shots=1))
+        store.append(_record(method="B", scenario="sgdc", shots=5))
+        assert [r.method for r in store.records(method="a")] == ["A"]
+        assert [r.method for r in store.records(scenario="SGDC")] == ["B"]
+        assert [r.method for r in store.records(shots=5)] == ["B"]
+        assert store.records(method="A", scenario="sgdc") == []
+
+    def test_unknown_filter_field_raises(self, store):
+        with pytest.raises(ValueError, match="unknown filter"):
+            store.records(flavour="vanilla")
+
+    def test_methods_in_first_appearance_order(self, store):
+        for name in ("Z", "A", "Z", "M"):
+            store.append(_record(method=name))
+        assert store.methods() == ("Z", "A", "M")
+
+    def test_provenance_helper_names_active_policies(self):
+        provenance = run_provenance()
+        assert provenance["backend"]
+        assert provenance["dtype"] in ("float32", "float64")
+        assert provenance["index_dtype"] in ("int32", "int64")
+        assert provenance["bundle_version"] >= 1
+
+
+class TestCrashRecovery:
+    def test_torn_last_line_is_skipped_not_fatal(self, store):
+        store.append(_record(method="A"))
+        store.append(_record(method="B"))
+        with open(store.path, "ab") as handle:
+            handle.write(b'{"method": "C", "metrics": {"f1"')   # torn write
+        assert [r.method for r in store.records()] == ["A", "B"]
+        assert store.lines_skipped == 1
+
+    def test_append_after_torn_line_starts_fresh_line(self, store):
+        """A post-crash append must not glue onto the torn fragment."""
+        store.append(_record(method="A"))
+        with open(store.path, "ab") as handle:
+            handle.write(b'{"method": "C", "metr')
+        store.append(_record(method="D"))
+        assert [r.method for r in store.records()] == ["A", "D"]
+        assert store.lines_skipped == 1
+
+    def test_interior_garbage_line_is_skipped(self, store):
+        store.append(_record(method="A"))
+        with open(store.path, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'[1, 2, 3]\n')               # json, not a record
+            handle.write(b'{"no_method_key": 1}\n')    # object, not a record
+        store.append(_record(method="B"))
+        assert [r.method for r in store.records()] == ["A", "B"]
+        assert store.lines_skipped == 3
+
+    def test_concurrent_thread_writers_never_interleave(self, store):
+        def writer(worker):
+            for i in range(25):
+                store.append(_record(method=f"m{worker}", task=f"t{i}"))
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = store.records()
+        assert len(records) == 100
+        assert store.lines_skipped == 0
+        # Every line decodes to exactly one whole record.
+        with open(store.path) as handle:
+            assert sum(1 for line in handle if line.strip()) == 100
+
+    def test_concurrent_process_writers_never_interleave(self, store):
+        processes = [
+            multiprocessing.Process(target=_process_writer,
+                                    args=(store.path, worker))
+            for worker in range(3)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        assert all(process.exitcode == 0 for process in processes)
+        assert len(store.records()) == 60
+        assert store.lines_skipped == 0
+
+
+def _process_writer(path, worker):
+    writer_store = ResultsStore(path)
+    for i in range(20):
+        writer_store.append(RunRecord(method=f"p{worker}", task=f"t{i}",
+                                      metrics={"f1": 0.5}))
+
+
+class TestSchemaVersioning:
+    def test_forward_read_keeps_unknown_fields(self, store):
+        line = json.dumps({
+            "method": "Future", "scenario": "sgsc", "dataset": "cora",
+            "task": "test-0", "metrics": {"f1": 0.9},
+            "schema": STORE_SCHEMA_VERSION + 5,
+            "novel_field": {"nested": True},
+        })
+        with open(store.path, "w") as handle:
+            handle.write(line + "\n")
+        [record] = store.records()
+        assert record.schema == STORE_SCHEMA_VERSION + 5
+        assert record.extra == {"novel_field": {"nested": True}}
+
+    def test_forward_read_round_trips_unknown_fields(self, store, tmp_path):
+        store.append(RunRecord(method="Future",
+                               schema=STORE_SCHEMA_VERSION + 5,
+                               extra={"novel_field": [1, 2]}))
+        rewritten = ResultsStore(tmp_path / "copy.jsonl")
+        rewritten.extend(store.records())
+        [record] = rewritten.records()
+        assert record.extra == {"novel_field": [1, 2]}
+        assert record.schema == STORE_SCHEMA_VERSION + 5
+
+    def test_every_line_carries_schema(self, store):
+        store.append(_record())
+        with open(store.path) as handle:
+            payload = json.loads(handle.readline())
+        assert payload["schema"] == STORE_SCHEMA_VERSION
+
+
+class TestOverview:
+    def test_groups_and_means(self, store):
+        for f1 in (0.2, 0.4):
+            store.append(_record(method="A", task=f"t{f1}", f1=f1,
+                                 train_time=1.0, test_time=2.0))
+        store.append(_record(method="B", task="t0", f1=0.9))
+        rows = store.overview(by=("method",))
+        assert [row["method"] for row in rows] == ["A", "B"]
+        assert rows[0]["runs"] == 2
+        assert rows[0]["f1"] == pytest.approx(0.3)
+        assert rows[0]["train_time"] == pytest.approx(1.0)
+        assert rows[0]["test_time"] == pytest.approx(2.0)
+
+    def test_aggregates_excluded_by_default(self, store):
+        store.append(_record(method="A", task="test-0", f1=0.2))
+        store.append(_record(method="A", task=AGGREGATE_TASK, f1=0.2))
+        [row] = store.overview(by=("method",))
+        assert row["runs"] == 1
+        [row] = store.overview(by=("method",), include_aggregates=True)
+        assert row["runs"] == 2
+
+    def test_unknown_group_field_raises(self, store):
+        store.append(_record())
+        with pytest.raises(ValueError, match="cannot group by"):
+            store.overview(by=("method", "flavour"))
+
+    def test_table_renders_without_pandas(self, store):
+        store.append(_record(method="A", f1=0.5))
+        table = store.overview_table(by=("method",))
+        assert "A" in table and "Runs" in table and "f1" in table
+
+    def test_empty_table_names_the_path(self, store):
+        assert str(store.path) in store.overview_table()
+
+
+class TestEvaluatorIntegration:
+    def test_evaluate_method_logs_per_task_and_aggregate(self, store,
+                                                         tiny_tasks, rng):
+        train, test = tiny_tasks
+        tasks = TaskSet(name="sgsc-fixture", train=train, valid=[], test=test)
+        result = evaluate_method(OracleMethod(), tasks, rng, store=store,
+                                 tags={"suite": "unit"})
+        records = store.records()
+        per_task = [r for r in records if not r.is_aggregate]
+        aggregates = [r for r in records if r.is_aggregate]
+        assert len(per_task) == len(test)
+        assert len(aggregates) == 1
+        assert result.scenario == "sgsc" and result.dataset == "fixture"
+        for record in per_task:
+            assert record.scenario == "sgsc"
+            assert record.dataset == "fixture"
+            assert record.f1 == pytest.approx(1.0)
+            assert record.meta_features       # selector training data
+            assert record.provenance["backend"]
+            assert record.tags == {"suite": "unit"}
+        assert aggregates[0].f1 == pytest.approx(result.metrics.f1)
+        assert aggregates[0].num_queries == len(result.per_query)
+
+    def test_train_time_amortised_over_tasks(self, store, tiny_tasks, rng):
+        train, test = tiny_tasks
+        tasks = TaskSet(name="sgsc-fixture", train=train, valid=[], test=test)
+        result = evaluate_method(OracleMethod(), tasks, rng, store=store)
+        per_task = [r for r in store.records() if not r.is_aggregate]
+        assert sum(r.train_time for r in per_task) == pytest.approx(
+            result.train_time)
+
+    def test_as_record_matches_result(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        tasks = TaskSet(name="sgsc-fixture", train=train, valid=[], test=test)
+        result = evaluate_method(OracleMethod(), tasks, rng, num_shots=1,
+                                 seed=9)
+        record = result.as_record(tags={"suite": "unit"})
+        assert record.task == AGGREGATE_TASK and record.is_aggregate
+        assert record.metrics["f1"] == pytest.approx(result.metrics.f1)
+        assert record.shots == 1 and record.seed == 9
+        assert record.tags == {"suite": "unit"}
+
+    def test_evaluate_methods_forwards_store(self, store, tiny_tasks, rng):
+        train, test = tiny_tasks
+        tasks = TaskSet(name="sgsc-fixture", train=train, valid=[], test=test)
+        results = evaluate_methods([OracleMethod()], tasks, rng, store=store)
+        assert len(results) == 1
+        assert len(store.records(method="Oracle")) == len(test) + 1
+
+    def test_per_task_outcomes_on_result(self, tiny_tasks, rng):
+        train, test = tiny_tasks
+        tasks = TaskSet(name="sgsc-fixture", train=train, valid=[], test=test)
+        result = evaluate_method(OracleMethod(), tasks, rng)
+        assert [o.task for o in result.per_task] == [t.name for t in test]
+        assert sum(o.num_queries for o in result.per_task) == \
+            len(result.per_query)
